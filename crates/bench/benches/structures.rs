@@ -1,0 +1,280 @@
+//! Criterion micro-benchmarks: wall-clock throughput of every structure on
+//! the canonical workloads. The paper's claims are about page accesses (see
+//! the `exp_*` binaries); these benches confirm the in-memory CPU costs are
+//! sane and let regressions in the hot paths show up in CI.
+//!
+//! Run: `cargo bench -p dsf-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dsf_bench::{BTreeDriver, DenseDriver, Driver, NaiveDriver, PmaDriver};
+use dsf_core::DenseFileConfig;
+
+const PAGES: u32 = 1024;
+const D_MIN: u32 = 8;
+const D_MAX: u32 = 40;
+
+fn make_drivers() -> Vec<(&'static str, Box<dyn Driver>)> {
+    vec![
+        (
+            "control2",
+            Box::new(DenseDriver::new(
+                "control2",
+                DenseFileConfig::control2(PAGES, D_MIN, D_MAX),
+            )),
+        ),
+        (
+            "control1",
+            Box::new(DenseDriver::new(
+                "control1",
+                DenseFileConfig::control1(PAGES, D_MIN, D_MAX),
+            )),
+        ),
+        ("pma", Box::new(PmaDriver::new(PAGES, D_MAX, D_MIN))),
+        ("btree", Box::new(BTreeDriver::new(D_MAX as usize))),
+        ("naive", Box::new(NaiveDriver::new(D_MAX as usize))),
+    ]
+}
+
+fn backbone() -> Vec<u64> {
+    (0..u64::from(PAGES) * u64::from(D_MIN) / 2)
+        .map(|i| i << 32)
+        .collect()
+}
+
+fn bench_uniform_inserts(c: &mut Criterion) {
+    let keys: Vec<u64> = dsf_workloads::uniform_unique(1, 2000, 1, (4096u64) << 32)
+        .into_iter()
+        .map(|k| k | 1)
+        .collect();
+    let mut group = c.benchmark_group("uniform_inserts_2k");
+    let bb = backbone();
+    for (name, _) in make_drivers() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    let mut d = make_drivers()
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .expect("driver exists")
+                        .1;
+                    d.bulk_backbone(&bb);
+                    d
+                },
+                |mut d| {
+                    for &k in &keys {
+                        d.insert(k);
+                    }
+                    d
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_hammer_inserts(c: &mut Criterion) {
+    let keys = dsf_workloads::hammer(2000, 5 << 32, 1);
+    let mut group = c.benchmark_group("hammer_inserts_2k");
+    let bb = backbone();
+    for (name, _) in make_drivers() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || {
+                    let mut d = make_drivers()
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .expect("driver exists")
+                        .1;
+                    d.bulk_backbone(&bb);
+                    d
+                },
+                |mut d| {
+                    for &k in &keys {
+                        d.insert(k);
+                    }
+                    d
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_lookups(c: &mut Criterion) {
+    let bb = backbone();
+    let probes: Vec<u64> = dsf_workloads::uniform_unique(7, 1000, 0, bb.len() as u64)
+        .into_iter()
+        .map(|i| i << 32)
+        .collect();
+    let mut group = c.benchmark_group("point_lookups_1k");
+    for (name, mut d) in make_drivers() {
+        d.bulk_backbone(&bb);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &probes {
+                    hits += usize::from(d.get(k));
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_scans(c: &mut Criterion) {
+    let bb = backbone();
+    let mut group = c.benchmark_group("scan_1000_records");
+    for (name, mut d) in make_drivers() {
+        d.bulk_backbone(&bb);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| d.scan(1000 << 32, 1000));
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_statistics(c: &mut Criterion) {
+    use dsf_core::DenseFile;
+    let mut f: DenseFile<u64, u64> =
+        DenseFile::new(DenseFileConfig::control2(PAGES, D_MIN, D_MAX)).unwrap();
+    let n = u64::from(PAGES) * u64::from(D_MIN) / 2;
+    f.bulk_load((0..n).map(|i| (i << 16, i))).unwrap();
+    let mut group = c.benchmark_group("order_statistics");
+    group.bench_function("rank", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % n;
+            f.rank(&((i << 16) + 1))
+        });
+    });
+    group.bench_function("select_nth", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % n;
+            f.select_nth(i)
+        });
+    });
+    group.bench_function("count_range", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % (n / 2);
+            f.count_range((i << 16)..((i + 1000) << 16))
+        });
+    });
+    group.finish();
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    use dsf_core::DenseFile;
+    let mut f: DenseFile<u64, u64> =
+        DenseFile::new(DenseFileConfig::control2(PAGES, D_MIN, D_MAX)).unwrap();
+    let n = u64::from(PAGES) * u64::from(D_MIN) / 2;
+    f.bulk_load((0..n).map(|i| (i << 16, i))).unwrap();
+    let mut group = c.benchmark_group("snapshot");
+    group.bench_function("encode_4k_records", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::new();
+            f.write_snapshot(&mut bytes).unwrap();
+            bytes
+        });
+    });
+    let mut bytes = Vec::new();
+    f.write_snapshot(&mut bytes).unwrap();
+    group.bench_function("decode_4k_records", |b| {
+        b.iter(|| {
+            let g: DenseFile<u64, u64> = DenseFile::read_snapshot(&mut bytes.as_slice()).unwrap();
+            g.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_maintenance_passes(c: &mut Criterion) {
+    use dsf_core::DenseFile;
+    let mut group = c.benchmark_group("offline_maintenance");
+    group.bench_function("vacuum_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut f: DenseFile<u64, u64> =
+                    DenseFile::new(DenseFileConfig::control2(PAGES, D_MIN, D_MAX)).unwrap();
+                let n = u64::from(PAGES) * u64::from(D_MIN) / 2;
+                f.bulk_load((0..n).map(|i| (i << 16, i))).unwrap();
+                f
+            },
+            |mut f| {
+                f.vacuum();
+                f
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("merge_bulk_1k_into_4k", |b| {
+        b.iter_batched(
+            || {
+                let mut f: DenseFile<u64, u64> =
+                    DenseFile::new(DenseFileConfig::control2(PAGES, D_MIN, D_MAX)).unwrap();
+                let n = u64::from(PAGES) * u64::from(D_MIN) / 2;
+                f.bulk_load((0..n).map(|i| (i << 16, i))).unwrap();
+                f
+            },
+            |mut f| {
+                f.merge_bulk((0..1000u64).map(|i| ((i << 16) | 1, i)))
+                    .unwrap();
+                f
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_durable_wal(c: &mut Criterion) {
+    use dsf_durable::{DurableFile, SyncPolicy};
+    let mut group = c.benchmark_group("durable_wal_1k_inserts");
+    for (name, policy) in [
+        ("manual_sync", SyncPolicy::Manual),
+        ("fsync_each", SyncPolicy::EveryCommand),
+    ] {
+        group.sample_size(10);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let dir = std::env::temp_dir().join(format!(
+                        "dsf-walbench-{}-{}-{}",
+                        std::process::id(),
+                        name,
+                        rand::random::<u64>()
+                    ));
+                    let f: DurableFile<u64, u64> = DurableFile::create(
+                        &dir,
+                        DenseFileConfig::control2(PAGES, D_MIN, D_MAX),
+                        policy,
+                    )
+                    .unwrap();
+                    (f, dir)
+                },
+                |(mut f, dir)| {
+                    for k in 0..1000u64 {
+                        f.insert(k << 20, k).unwrap();
+                    }
+                    drop(f);
+                    std::fs::remove_dir_all(&dir).ok();
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_uniform_inserts, bench_hammer_inserts, bench_point_lookups,
+        bench_stream_scans, bench_order_statistics, bench_snapshot_codec,
+        bench_maintenance_passes, bench_durable_wal
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E2 — the paper's motivation for CONTROL 2: CONTROL 1 (and its modern
+//! descendant, the amortized PMA) achieve the same *amortized* cost but
+//! suffer `O(M)`-page spikes on individual commands; CONTROL 2 trades a
+//! slightly higher mean for a bounded worst case.
+//!
+//! Both a uniform insert stream and the adversarial hammer are replayed
+//! against CONTROL 1, CONTROL 2 and the PMA at identical geometry; the
+//! table reports mean / p99 / worst page accesses per command.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_amortized_vs_worstcase`
+
+use dsf_bench::{f, profile_inserts, DenseDriver, Driver, PmaDriver, Table};
+use dsf_core::DenseFileConfig;
+
+const PAGES: u32 = 1024;
+const D_MIN: u32 = 8;
+const D_MAX: u32 = 40;
+
+fn drivers() -> Vec<Box<dyn Driver>> {
+    vec![
+        Box::new(DenseDriver::new(
+            "control2",
+            DenseFileConfig::control2(PAGES, D_MIN, D_MAX),
+        )),
+        Box::new(DenseDriver::new(
+            "control1",
+            DenseFileConfig::control1(PAGES, D_MIN, D_MAX),
+        )),
+        Box::new(PmaDriver::new(PAGES, D_MAX, D_MIN)),
+    ]
+}
+
+fn replay(title: &str, keys_for: impl Fn(u64) -> Vec<u64>) {
+    let mut t = Table::new([
+        "structure",
+        "commands",
+        "mean",
+        "p99",
+        "worst",
+        "worst/mean",
+    ]);
+    for mut d in drivers() {
+        // Half-full uniform backbone, bulk-loaded so every structure starts
+        // from its natural freshly-organized state.
+        let backbone: Vec<u64> = (0..u64::from(PAGES) * u64::from(D_MIN) / 2)
+            .map(|i| i << 32)
+            .collect();
+        d.bulk_backbone(&backbone);
+        let keys = keys_for(backbone.len() as u64);
+        let p = profile_inserts(d.as_mut(), &keys);
+        t.row([
+            d.name().to_string(),
+            p.ops.to_string(),
+            f(p.mean),
+            p.p99.to_string(),
+            p.max.to_string(),
+            f(p.max as f64 / p.mean.max(1e-9)),
+        ]);
+    }
+    t.print(title);
+}
+
+fn main() {
+    let room = (u64::from(PAGES) * u64::from(D_MIN) / 2) as usize;
+
+    // Uniform keys are drawn inside the backbone's key range (odd values,
+    // so they never collide with the even backbone keys).
+    let universe = (u64::from(PAGES) * u64::from(D_MIN) / 2) << 32;
+    replay(
+        "E2a — uniform inserts to capacity (M=1024, d=8, D=40)",
+        |_n| {
+            dsf_workloads::uniform_unique(42, room, 1, universe)
+                .into_iter()
+                .map(|k| k | 1)
+                .collect()
+        },
+    );
+
+    replay(
+        "E2b — adversarial hammer to capacity (same geometry)",
+        |_n| dsf_workloads::hammer(room, 5 << 32, 1),
+    );
+
+    println!("\nReading: uniform inserts never stress any of the three — every");
+    println!("command costs the bare probe-plus-write. Under the hammer all three");
+    println!("keep comparable means (the shared amortized O(log²M/(D−d)) bound),");
+    println!("but CONTROL 1 and the PMA pay occasional commands hundreds of times");
+    println!("the mean — a full-subtree redistribution — while CONTROL 2's worst");
+    println!("command stays within its fixed J-shift budget. This de-amortization");
+    println!("is the paper's contribution.");
+}

@@ -1,0 +1,80 @@
+//! E9 — the paper's coefficient remark (§5 close): "the asymptote
+//! O(log²M/(D−d)) definitely over-estimates CONTROL 2's real cost because
+//! CONTROL 2, unlike a B-tree procedure, can be programmed to access
+//! adjacent pages in one fell swoop during its update task."
+//!
+//! The J SHIFTs of one command revisit a handful of adjacent pages, so even
+//! a tiny buffer pool absorbs most of them; a B-tree's updates scatter over
+//! its nodes. This experiment replays each structure's update trace through
+//! LRU pools of increasing size and reports the *effective* (miss) cost per
+//! command.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_fell_swoop`
+
+use dsf_bench::{f, BTreeDriver, DenseDriver, Driver, Table};
+use dsf_core::DenseFileConfig;
+use dsf_pagestore::LruCacheSim;
+
+const PAGES: u32 = 1024;
+const D_MIN: u32 = 8;
+const D_MAX: u32 = 40;
+
+fn update_trace(d: &mut (impl Driver + ?Sized)) -> (u64, Vec<dsf_pagestore::AccessEvent>) {
+    let backbone: Vec<u64> = (0..u64::from(PAGES) * u64::from(D_MIN) / 2)
+        .map(|i| i << 32)
+        .collect();
+    d.bulk_backbone(&backbone);
+    let keys = dsf_workloads::hammer(backbone.len(), 5 << 32, 1);
+    d.take_trace();
+    d.set_trace(true);
+    let before = d.accesses();
+    for &k in &keys {
+        if !d.insert(k) {
+            break;
+        }
+    }
+    let raw = d.accesses() - before;
+    let trace = d.take_trace();
+    d.set_trace(false);
+    (raw / keys.len() as u64, trace)
+}
+
+fn main() {
+    let mut c2 = DenseDriver::new("control2", DenseFileConfig::control2(PAGES, D_MIN, D_MAX));
+    let mut bt = BTreeDriver::new(D_MAX as usize);
+    let (c2_raw, c2_trace) = update_trace(&mut c2);
+    let (bt_raw, bt_trace) = update_trace(&mut bt);
+    let commands = (u64::from(PAGES) * u64::from(D_MIN) / 2) as f64;
+
+    println!("Hammer to capacity (M={PAGES}, d={D_MIN}, D={D_MAX}); raw page accesses per");
+    println!("command: control2 ≈ {c2_raw}, b+tree ≈ {bt_raw}. Replaying both update");
+    println!("traces through an LRU buffer pool:");
+
+    let mut t = Table::new([
+        "pool (pages)",
+        "c2 misses/cmd",
+        "c2 hit rate",
+        "btree misses/cmd",
+        "btree hit rate",
+    ]);
+    for &cap in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let c2s = LruCacheSim::new(cap).replay(&c2_trace);
+        let bts = LruCacheSim::new(cap).replay(&bt_trace);
+        t.row([
+            cap.to_string(),
+            f(c2s.misses as f64 / commands),
+            format!("{:.0}%", c2s.hit_rate() * 100.0),
+            f(bts.misses as f64 / commands),
+            format!("{:.0}%", bts.hit_rate() * 100.0),
+        ]);
+    }
+    t.print("E9 — effective update cost under a buffer pool (misses per command)");
+
+    println!("\nReading: CONTROL 2's shift traffic is so local that a pool of a few");
+    println!("pages absorbs most of it — the effective per-command I/O drops far");
+    println!("below the raw J-shift count, confirming the paper's remark that the");
+    println!("asymptote over-estimates the real constant. The B-tree profits too");
+    println!("(its root and the hammered leaf stay hot) but from a lower raw cost;");
+    println!("the gap between the structures narrows sharply once any realistic");
+    println!("buffer pool is present.");
+}

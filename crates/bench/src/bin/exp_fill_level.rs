@@ -1,0 +1,90 @@
+//! E12 (extension) — update cost as the file fills.
+//!
+//! The PMA literature that grew out of this paper plots a characteristic
+//! curve: maintenance cost is negligible at low occupancy and climbs as
+//! the structure approaches its capacity, because every insertion lands
+//! closer to a density threshold. This experiment measures CONTROL 2's
+//! per-command cost (mean and worst) in occupancy bands from 10% to 100%,
+//! under both uniform and hammer insertion, and reports where the climb
+//! happens relative to the `d/D` slack.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_fill_level`
+
+use dsf_bench::{f, Table};
+use dsf_core::{DenseFile, DenseFileConfig};
+
+const PAGES: u32 = 1024;
+
+fn run(d: u32, big_d: u32, hammer: bool) -> Vec<(u64, f64, u64)> {
+    let mut file: DenseFile<u64, u64> =
+        DenseFile::new(DenseFileConfig::control2(PAGES, d, big_d)).unwrap();
+    let cap = file.capacity();
+    let keys: Vec<u64> = if hammer {
+        dsf_workloads::hammer(cap as usize, 1 << 40, 1)
+    } else {
+        dsf_workloads::uniform_unique(3, cap as usize, 0, u64::MAX >> 1)
+    };
+    let mut out = Vec::new();
+    let band = cap / 10;
+    let mut band_total = 0u64;
+    let mut band_max = 0u64;
+    let mut band_ops = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        let snap = file.io_stats().snapshot();
+        if file.insert(k, 0).is_err() {
+            break; // duplicates in uniform mode can under-fill; fine
+        }
+        let c = file.io_stats().since(snap).accesses();
+        band_total += c;
+        band_max = band_max.max(c);
+        band_ops += 1;
+        if (i as u64 + 1).is_multiple_of(band) {
+            let pct = (i as u64 + 1) * 100 / cap;
+            out.push((pct, band_total as f64 / band_ops as f64, band_max));
+            band_total = 0;
+            band_max = 0;
+            band_ops = 0;
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("Per-command page accesses in 10%-occupancy bands (M={PAGES}).\n");
+    let mut t = Table::new([
+        "fill band",
+        "uniform mean (d=8,D=40)",
+        "uniform worst",
+        "hammer mean (d=8,D=40)",
+        "hammer worst",
+        "hammer mean (d=32,D=40)",
+        "hammer worst ",
+    ]);
+    let u = run(8, 40, false);
+    let h = run(8, 40, true);
+    let ht = run(32, 40, true);
+    for i in 0..u.len().min(h.len()).min(ht.len()) {
+        t.row([
+            format!("{:>3}%", u[i].0),
+            f(u[i].1),
+            u[i].2.to_string(),
+            f(h[i].1),
+            h[i].2.to_string(),
+            f(ht[i].1),
+            ht[i].2.to_string(),
+        ]);
+    }
+    t.print("E12 — update cost vs occupancy");
+
+    println!("\nReading: growing a file from empty is itself mild density pressure —");
+    println!("every new key lands in its predecessor's slot, so records clump and");
+    println!("shifts keep clearing room even under uniform keys (contrast E10,");
+    println!("where a bulk-loaded file at steady state pays the bare 2.0). The");
+    println!("important shape: the mean is remarkably *flat* across occupancy bands");
+    println!("and every band's worst command respects the same J budget — there is");
+    println!("no near-full blow-up, because CONTROL 2's per-command spend is capped");
+    println!("by construction. (The blow-up the PMA literature warns about is the");
+    println!("amortized structures' spike column in E2.) Thin slack (d=32/D=40)");
+    println!("raises the whole curve by the macro-block factor, as Theorem 5.7");
+    println!("prices in.");
+}

@@ -1,0 +1,86 @@
+//! E7 — Theorem 5.7: when the density gap is small (`D−d ≤ 3⌈log₂M⌉`) the
+//! plain algorithm's guarantee is void; grouping `K` pages into macro-blocks
+//! with `K(D−d) > 3⌈log₂M⌉` restores the `O(log²M/(D−d))` bound at a
+//! constant-factor cost.
+//!
+//! For a sweep of gaps the table compares `MacroBlocking::Auto` (the paper's
+//! rule) with `MacroBlocking::Disabled` (K forced to 1) under the
+//! adversarial hammer, reporting the chosen `K`, the worst command, and how
+//! many commands ended with a BALANCE(d,D) violation.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_macroblock`
+
+use dsf_bench::{balance_violations, f, hammer_setup, Table};
+use dsf_core::{DenseFile, DenseFileConfig, MacroBlocking};
+
+fn run(pages: u32, d: u32, big_d: u32, mb: MacroBlocking) -> (u32, u32, f64, u64, u64) {
+    let mut file: DenseFile<u64, u64> =
+        DenseFile::new(DenseFileConfig::control2(pages, d, big_d).with_macro_blocking(mb)).unwrap();
+    let keys = hammer_setup(&mut file);
+    let mut violating_cmds = 0u64;
+    for k in keys {
+        if file.insert(k, 0).is_err() {
+            break;
+        }
+        if balance_violations(&file) > 0 {
+            violating_cmds += 1;
+        }
+    }
+    let s = file.op_stats();
+    (
+        file.config().k,
+        file.config().j,
+        s.mean_accesses(),
+        s.max_accesses,
+        violating_cmds,
+    )
+}
+
+fn main() {
+    let mut t = Table::new([
+        "M",
+        "d",
+        "D",
+        "gap",
+        "mode",
+        "K",
+        "J",
+        "mean",
+        "worst",
+        "violating cmds",
+    ]);
+    for &(pages, d, big_d) in &[
+        (1024u32, 30u32, 32u32), // gap 2 ≪ 3L = 30
+        (1024, 28, 32),          // gap 4
+        (1024, 24, 32),          // gap 8
+        (1024, 16, 32),          // gap 16
+        (1024, 8, 40),           // gap 32 > 3L — no blocking needed
+    ] {
+        for (label, mb) in [
+            ("auto", MacroBlocking::Auto),
+            ("K=1", MacroBlocking::Disabled),
+        ] {
+            let (k, j, mean, worst, viol) = run(pages, d, big_d, mb);
+            t.row([
+                pages.to_string(),
+                d.to_string(),
+                big_d.to_string(),
+                (big_d - d).to_string(),
+                label.to_string(),
+                k.to_string(),
+                j.to_string(),
+                f(mean),
+                worst.to_string(),
+                viol.to_string(),
+            ]);
+        }
+    }
+    t.print("E7 — macro-blocking (Theorem 5.7) under the adversarial hammer");
+
+    println!("\nReading: with the gap below 3⌈log M⌉ and K forced to 1, the");
+    println!("thresholds g(v,0) … g(v,1) collapse to within a record or two of");
+    println!("each other and commands start ending in BALANCE violations (the");
+    println!("guarantee is genuinely void, not merely unproven). The paper's K");
+    println!("restores zero violations; its price is the K-fold cost of moving");
+    println!("macro-blocks, visible in the mean/worst columns.");
+}

@@ -1,0 +1,105 @@
+//! E6 — the paper's §1 motivation: "overflow mechanisms become especially
+//! unmanageable when a large surge of insertions is attempted in a
+//! relatively small portion of the sequential file".
+//!
+//! An ISAM-style overflow file and a CONTROL 2 dense file are organized
+//! over the same backbone; a surge of increasing size is then aimed at a
+//! narrow stripe of the key space. After each surge stage the table reports
+//! the overflow file's chain statistics and the disk time of a 1000-record
+//! stream through the surged region, side by side with the dense file's.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_overflow_burst`
+
+use dsf_bench::{f, DenseDriver, Driver, OverflowDriver, Table};
+use dsf_core::DenseFileConfig;
+use dsf_pagestore::disk::DiskModel;
+
+const PAGES: u32 = 1024;
+const D_MIN: u32 = 8;
+const D_MAX: u32 = 40;
+
+fn scan_ms(d: &(impl Driver + ?Sized), start: u64, s: usize, model: &DiskModel) -> (u64, f64) {
+    d.take_trace();
+    d.set_trace(true);
+    let snap = d.snapshot();
+    d.scan(start, s);
+    let pages = d.since(snap);
+    let ms = model.replay_ms(&d.take_trace());
+    d.set_trace(false);
+    (pages, ms)
+}
+
+fn main() {
+    let model = DiskModel::ibm3380_class();
+    let backbone: Vec<u64> = (0..u64::from(PAGES) * u64::from(D_MIN) / 2)
+        .map(|i| i << 32)
+        .collect();
+
+    // The overflow file is provisioned the classical way: just enough
+    // primary pages to hold the backbone at ~65% fill (an ISAM install
+    // sized for its data), leaving the usual slack for growth.
+    let ovfl_pages = (backbone.len() as u32).div_ceil(D_MAX * 65 / 100);
+    let fill = backbone.len().div_ceil(ovfl_pages as usize);
+    let mut overflow = OverflowDriver::new(ovfl_pages, D_MAX as usize);
+    overflow
+        .file
+        .organize(backbone.iter().map(|&k| (k, k)), fill);
+    let mut dense = DenseDriver::new("control2", DenseFileConfig::control2(PAGES, D_MIN, D_MAX));
+    dense.bulk_backbone(&backbone);
+
+    // The surge lands in a stripe around 5<<32, interleaved over 8
+    // sub-points spaced a primary page apart, so the growing chains of
+    // neighbouring pages interleave in allocation order — the worst
+    // realistic pattern.
+    let stripe_lo = 5u64 << 32;
+    let stride = (fill as u64) << 32;
+    let mut t = Table::new([
+        "surge size",
+        "chains (pages)",
+        "longest chain",
+        "ovfl scan pages",
+        "ovfl scan ms",
+        "dense scan pages",
+        "dense scan ms",
+        "dense worst cmd",
+    ]);
+
+    let mut total_surged = 0usize;
+    for &stage in &[0usize, 128, 256, 512, 1024, 2048] {
+        let add = stage - total_surged;
+        let keys: Vec<u64> = (0..add as u64)
+            .map(|i| stripe_lo + 1 + (i % 8) * stride + i / 8)
+            .collect();
+        for &k in &keys {
+            overflow.insert(k);
+            dense.insert(k);
+        }
+        total_surged = stage;
+
+        let (op, oms) = scan_ms(&overflow, stripe_lo, 1000, &model);
+        let (dp, dms) = scan_ms(&dense, stripe_lo, 1000, &model);
+        let os = overflow.file.overflow_stats();
+        t.row([
+            stage.to_string(),
+            os.overflow_pages.to_string(),
+            os.longest_chain.to_string(),
+            op.to_string(),
+            f(oms),
+            dp.to_string(),
+            f(dms),
+            dense.file.op_stats().max_accesses.to_string(),
+        ]);
+    }
+    t.print("E6 — a localized surge vs overflow chaining (M=1024, d=8, D=40)");
+
+    println!("\nReading: chains grow linearly with the surge and the overflow file's");
+    println!("stream time grows with them (every chain page is a seek), while the");
+    println!("dense file's scan stays a single sequential sweep and its worst");
+    println!("command stays bounded. This is precisely why the paper abandons");
+    println!("overflow heuristics for record shifting.");
+    println!(
+        "\n(Overflow file now holds {} records, {} in chains.)",
+        overflow.len(),
+        overflow.file.overflow_stats().overflow_records
+    );
+}

@@ -1,0 +1,115 @@
+//! E13 (extension) — stream retrieval against the *real* filesystem.
+//!
+//! Every other experiment prices I/O through the simulator; this one writes
+//! the dense file to disk in its physical page layout (records at their
+//! page addresses, `dsf_durable::PhysicalImage`) and retrieves streams of
+//! `s` consecutive records with actual `read()` calls: an O(log M)-seek
+//! positioning phase, then strictly sequential page reads. The comparison
+//! case retrieves the same records by independent point reads.
+//!
+//! On a machine with a page-cache-warm file the wall times mostly reflect
+//! syscall and copy costs, so the headline columns are the *I/O pattern*
+//! (seeks and pages); wall time is reported for completeness.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_physical_io`
+
+use dsf_bench::{f, Table};
+use dsf_core::{DenseFile, DenseFileConfig};
+use dsf_durable::PhysicalImage;
+use std::time::Instant;
+
+const PAGES: u32 = 4096;
+const D_MIN: u32 = 16;
+const D_MAX: u32 = 64;
+const PAGE_BYTES: u32 = 4096;
+
+fn main() {
+    // Build and image a file of ~49k records (aged with extra inserts).
+    let mut file: DenseFile<u64, u64> =
+        DenseFile::new(DenseFileConfig::control2(PAGES, D_MIN, D_MAX)).unwrap();
+    let n0 = u64::from(PAGES) * u64::from(D_MIN) / 2;
+    file.bulk_load((0..n0).map(|i| (i << 16, i))).unwrap();
+    for k in dsf_workloads::uniform_unique(9, (n0 / 4) as usize, 1, n0 << 16) {
+        let _ = file.insert(k | 1, 0);
+    }
+    let path = std::env::temp_dir().join(format!("dsf-physio-{}.img", std::process::id()));
+    let mut img = PhysicalImage::create(&file, &path, PAGE_BYTES).unwrap();
+    let file_bytes = std::fs::metadata(&path).unwrap().len();
+    println!(
+        "image: {} records in {} pages of {} B ({:.1} MiB at {})",
+        file.len(),
+        img.pages(),
+        PAGE_BYTES,
+        file_bytes as f64 / (1024.0 * 1024.0),
+        path.display()
+    );
+
+    let starts: Vec<u64> = dsf_workloads::uniform_unique(123, 32, 0, (n0 - 20_000) << 16);
+    let mut t = Table::new([
+        "stream s",
+        "stream seeks",
+        "stream pages",
+        "stream ms",
+        "point seeks",
+        "point pages",
+        "point ms",
+    ]);
+    for &s in &[10usize, 100, 1000, 10_000] {
+        let (mut sseeks, mut spages, mut sms) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut pseeks, mut ppages, mut pms) = (0.0f64, 0.0f64, 0.0f64);
+        for &start in &starts {
+            // The stream's key bound, from the (still-resident) file.
+            let hi = file
+                .range(start..)
+                .nth(s.saturating_sub(1))
+                .map(|(k, _)| *k)
+                .unwrap_or(u64::MAX >> 1);
+
+            // Stream: one positioned sweep.
+            let clock = Instant::now();
+            let (recs, rep) = img.stream_range::<u64, u64>(start, hi).unwrap();
+            sms += clock.elapsed().as_secs_f64() * 1e3;
+            sseeks += rep.seeks as f64;
+            spages += rep.pages_read as f64;
+
+            // Points: the same records fetched independently (a 32-key
+            // sample, scaled up, so the 10k row finishes).
+            let sample: Vec<u64> = recs
+                .iter()
+                .step_by((recs.len() / 32).max(1))
+                .map(|(k, _)| *k)
+                .collect();
+            let clock = Instant::now();
+            let (mut seeks_1, mut pages_1) = (0u64, 0u64);
+            for &k in &sample {
+                let (v, rep) = img.point_read::<u64, u64>(k).unwrap();
+                assert!(v.is_some());
+                seeks_1 += rep.seeks;
+                pages_1 += rep.pages_read;
+            }
+            let scale = recs.len() as f64 / sample.len().max(1) as f64;
+            pms += clock.elapsed().as_secs_f64() * 1e3 * scale;
+            pseeks += seeks_1 as f64 * scale;
+            ppages += pages_1 as f64 * scale;
+        }
+        let n = starts.len() as f64;
+        t.row([
+            s.to_string(),
+            f(sseeks / n),
+            f(spages / n),
+            f(sms / n),
+            f(pseeks / n),
+            f(ppages / n),
+            f(pms / n),
+        ]);
+    }
+    t.print("E13 — real-file stream vs point retrieval (per request, averaged)");
+
+    println!("\nReading: a stream of any length costs one O(log M) positioning");
+    println!("phase (~a dozen seeks) plus sequential reads; fetching the same");
+    println!("records as point reads repeats that positioning per record — the");
+    println!("seek and page columns diverge by orders of magnitude exactly as the");
+    println!("paper's argument predicts, now against the real filesystem. (Wall");
+    println!("times on a warm page cache mainly show syscall counts.)");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,84 @@
+//! E11 (extension) — throughput scaling of the range-sharded wrapper.
+//!
+//! The paper's algorithms are sequential; `dsf-concurrent` shards the key
+//! space so stripes proceed in parallel, each keeping the per-command
+//! worst-case bound. This experiment measures wall-clock insert throughput
+//! as threads grow, for shard counts 1..16, with every thread writing its
+//! own uniformly-spread key slice (the friendly case) and with all threads
+//! hammering one stripe (the skewed case where sharding cannot help).
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_shard_scaling`
+
+use dsf_bench::Table;
+use dsf_concurrent::ShardedFile;
+use dsf_core::DenseFileConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+const OPS_PER_THREAD: usize = 3_000;
+
+fn throughput(shards: u32, threads: u64, skewed: bool) -> f64 {
+    let per_shard = DenseFileConfig::control2(1024, 32, 96);
+    let file: Arc<ShardedFile<u64>> = Arc::new(ShardedFile::new(shards, per_shard).unwrap());
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let file = Arc::clone(&file);
+        handles.push(std::thread::spawn(move || {
+            // Each thread owns a disjoint congruence class of keys; skewed
+            // mode squeezes all keys into the first stripe.
+            let space = if skewed {
+                u64::MAX / u64::from(file.shard_count())
+            } else {
+                u64::MAX
+            };
+            let stride = space / (OPS_PER_THREAD as u64 * threads + 1);
+            for i in 0..OPS_PER_THREAD as u64 {
+                let k = (i * threads + t) * stride;
+                file.insert(k, t).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (OPS_PER_THREAD as f64 * threads as f64) / secs / 1e6
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("Insert throughput (million ops/s), {OPS_PER_THREAD} inserts per thread, per-shard");
+    println!("geometry M=1024, d=32, D=96. Wall-clock, so numbers vary run to run;");
+    println!("the *scaling shape* is the result. Detected {cores} hardware thread(s) —");
+    println!("scaling beyond that count reflects lock overhead only.\n");
+
+    let mut t = Table::new(["shards", "1 thread", "2 threads", "4 threads", "8 threads"]);
+    for &shards in &[1u32, 4, 16] {
+        let mut row = vec![shards.to_string()];
+        for &threads in &[1u64, 2, 4, 8] {
+            row.push(format!("{:.2}", throughput(shards, threads, false)));
+        }
+        t.row(row);
+    }
+    t.print("E11a — uniform writers (each thread spread over the whole space)");
+
+    let mut t = Table::new(["shards", "1 thread", "2 threads", "4 threads", "8 threads"]);
+    for &shards in &[4u32, 16] {
+        let mut row = vec![shards.to_string()];
+        for &threads in &[1u64, 2, 4, 8] {
+            row.push(format!("{:.2}", throughput(shards, threads, true)));
+        }
+        t.row(row);
+    }
+    t.print("E11b — skewed writers (everyone hammers stripe 0)");
+
+    println!("\nReading: on a multi-core host, uniform writers scale with threads");
+    println!("once shards outnumber them, while skewed writers serialize on one");
+    println!("stripe's write lock regardless of shard count — range partitioning");
+    println!("helps exactly as much as the key distribution lets it. (On a");
+    println!("single-core host both tables only show the locking overhead of");
+    println!("extra threads.)");
+}

@@ -1,0 +1,125 @@
+//! E4 — the paper's headline systems claim (§4, §5 closing): "the retrieval
+//! of a stream of records with consecutive key values will be faster in a
+//! sequential file than in a B-tree (because the latter entails much disk
+//! arm movement when consecutive records are not stored in adjacent
+//! locations)".
+//!
+//! Both structures are built to the same logical content and then *aged*
+//! with uniform random inserts (a fresh bulk-loaded B-tree is still mostly
+//! sequential; update traffic is what scatters its leaves). Streams of `s`
+//! consecutive records are then retrieved from random start keys, their
+//! physical access traces replayed through the rotational-disk model, and
+//! the per-stream time reported for a 1986-class disk and a modern HDD.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_stream_retrieval`
+
+use dsf_bench::{f, BTreeDriver, DenseDriver, Driver, Table};
+use dsf_core::DenseFileConfig;
+use dsf_pagestore::disk::DiskModel;
+
+const PAGES: u32 = 4096;
+const D_MIN: u32 = 16;
+const D_MAX: u32 = 64;
+
+fn build_aged() -> (DenseDriver, BTreeDriver) {
+    let backbone: Vec<(u64, u64)> = (0..u64::from(PAGES) * u64::from(D_MIN) / 2)
+        .map(|i| (i << 16, i))
+        .collect();
+    let mut dense = DenseDriver::new("dense-file", DenseFileConfig::control2(PAGES, D_MIN, D_MAX));
+    dense.file.bulk_load(backbone.iter().copied()).unwrap();
+    let mut btree = BTreeDriver::new(D_MAX as usize);
+    btree.tree.bulk_load(backbone.iter().copied()).unwrap();
+
+    // Age both with the same uniform random inserts (¼ of capacity).
+    let age = dsf_workloads::uniform_unique(
+        77,
+        (u64::from(PAGES) * u64::from(D_MIN) / 4) as usize,
+        1,
+        (u64::from(PAGES) * u64::from(D_MIN) / 2) << 16,
+    );
+    for k in age {
+        let k = k | 1; // dodge backbone keys
+        dense.insert(k);
+        btree.insert(k);
+    }
+    assert_eq!(dense.len(), btree.len());
+    (dense, btree)
+}
+
+fn stream_cost(
+    d: &(impl Driver + ?Sized),
+    starts: &[u64],
+    s: usize,
+    model: &DiskModel,
+) -> (f64, f64) {
+    d.take_trace();
+    d.set_trace(true);
+    let mut pages = 0u64;
+    let mut ms = 0.0;
+    for &start in starts {
+        let snap = d.snapshot();
+        let got = d.scan(start, s);
+        assert!(got > 0);
+        pages += d.since(snap);
+        ms += model.replay_ms(&d.take_trace());
+    }
+    d.set_trace(false);
+    (pages as f64 / starts.len() as f64, ms / starts.len() as f64)
+}
+
+fn main() {
+    let (dense, btree) = build_aged();
+    println!(
+        "Both structures hold {} records after aging; B-tree height {}, {} node pages;",
+        dense.len(),
+        btree.tree.height(),
+        btree.tree.node_pages()
+    );
+    println!(
+        "dense file: {} pages. Disk models: IBM-3380-class and modern HDD.",
+        PAGES
+    );
+
+    let universe = (u64::from(PAGES) * u64::from(D_MIN) / 2) << 16;
+    let starts: Vec<u64> = dsf_workloads::uniform_unique(123, 64, 0, universe);
+    let old = DiskModel::ibm3380_class();
+    let new = DiskModel::modern_hdd();
+
+    let mut t = Table::new([
+        "stream s",
+        "dense pages",
+        "btree pages",
+        "dense ms(3380)",
+        "btree ms(3380)",
+        "speedup",
+        "dense ms(hdd)",
+        "btree ms(hdd)",
+    ]);
+    for &s in &[1usize, 10, 100, 1_000, 10_000] {
+        let (dp, dms_old) = stream_cost(&dense, &starts, s, &old);
+        let (bp, bms_old) = stream_cost(&btree, &starts, s, &old);
+        let (_, dms_new) = stream_cost(&dense, &starts, s, &new);
+        let (_, bms_new) = stream_cost(&btree, &starts, s, &new);
+        t.row([
+            s.to_string(),
+            f(dp),
+            f(bp),
+            f(dms_old),
+            f(bms_old),
+            format!("{:.1}x", bms_old / dms_old),
+            f(dms_new),
+            f(bms_new),
+        ]);
+    }
+    t.print("E4 — stream retrieval: per-stream disk time, dense file vs aged B+-tree");
+
+    println!("\nReading: the B-tree actually reads *fewer* pages at large s (its");
+    println!("leaves run ~90% full; an aged (d,D)-dense file sits between d/D and");
+    println!("1 full) — but it pays a seek per scattered leaf, while the dense");
+    println!("file pays one seek and then streams physically consecutive pages.");
+    println!("Disk time therefore favours the dense file at every s, increasingly");
+    println!("so as streams lengthen — the paper's central argument. At s=1 the");
+    println!("dense file also wins here because its search structure (the");
+    println!("calibrator) is memory-resident, as the paper's cost model assumes,");
+    println!("while the B-tree descends height-many pages on disk.");
+}

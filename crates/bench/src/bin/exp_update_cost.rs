@@ -1,0 +1,97 @@
+//! E5 — update cost across every structure (§4: "update costs are probably
+//! somewhat higher under CONTROL 2 than under B-tree algorithms").
+//!
+//! Replays three insert streams — uniform, a localized burst, and the
+//! adversarial hammer — against all six structures at identical geometry,
+//! then a delete pass, reporting mean / p99 / worst page accesses per
+//! command.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_update_cost`
+
+use dsf_bench::{
+    f, profile_inserts, profile_removes, BTreeDriver, DenseDriver, Driver, NaiveDriver,
+    OverflowDriver, PmaDriver, Table,
+};
+use dsf_core::DenseFileConfig;
+
+const PAGES: u32 = 1024;
+const D_MIN: u32 = 8;
+const D_MAX: u32 = 40;
+
+fn drivers() -> Vec<Box<dyn Driver>> {
+    vec![
+        Box::new(DenseDriver::new(
+            "control2",
+            DenseFileConfig::control2(PAGES, D_MIN, D_MAX),
+        )),
+        Box::new(DenseDriver::new(
+            "control1",
+            DenseFileConfig::control1(PAGES, D_MIN, D_MAX),
+        )),
+        Box::new(PmaDriver::new(PAGES, D_MAX, D_MIN)),
+        Box::new(BTreeDriver::new(D_MAX as usize)),
+        Box::new(NaiveDriver::new(D_MAX as usize)),
+        Box::new(OverflowDriver::new(PAGES, D_MAX as usize)),
+    ]
+}
+
+fn replay(title: &str, keys: &[u64], deletes: bool) {
+    let backbone: Vec<u64> = (0..u64::from(PAGES) * u64::from(D_MIN) / 2)
+        .map(|i| i << 32)
+        .collect();
+    let mut t = Table::new(["structure", "mean", "p99", "worst", "del mean", "del worst"]);
+    for mut d in drivers() {
+        d.bulk_backbone(&backbone);
+        let p = profile_inserts(d.as_mut(), keys);
+        let (dm, dw) = if deletes {
+            let mut victims: Vec<u64> = keys.iter().copied().take(p.ops as usize).collect();
+            victims = dsf_workloads::shuffled(5, victims);
+            let dp = profile_removes(d.as_mut(), &victims);
+            (f(dp.mean), dp.max.to_string())
+        } else {
+            ("-".into(), "-".into())
+        };
+        t.row([
+            d.name().to_string(),
+            f(p.mean),
+            p.p99.to_string(),
+            p.max.to_string(),
+            dm,
+            dw,
+        ]);
+    }
+    t.print(title);
+}
+
+fn main() {
+    let room = (u64::from(PAGES) * u64::from(D_MIN) / 2) as usize;
+    println!(
+        "Geometry: M={PAGES} pages, d={D_MIN}, D={D_MAX}; every structure pre-loaded with the"
+    );
+    println!("same half-capacity backbone, then measured on the stream below.");
+
+    // Drawn inside the backbone's key range (odd, so collision-free).
+    let universe = (u64::from(PAGES) * u64::from(D_MIN) / 2) << 32;
+    let uniform: Vec<u64> = dsf_workloads::uniform_unique(21, room, 1, universe)
+        .into_iter()
+        .map(|k| k | 1)
+        .collect();
+    replay(
+        "E5a — uniform inserts (plus shuffled deletes of the same keys)",
+        &uniform,
+        true,
+    );
+
+    let burst = dsf_workloads::burst(22, room, (5 << 32) + 1, (5 << 32) + 1 + (room as u64 * 4));
+    replay("E5b — localized burst (the §1 surge)", &burst, false);
+
+    let hammer = dsf_workloads::hammer(room, 5 << 32, 1);
+    replay("E5c — adversarial hammer", &hammer, false);
+
+    println!("\nReading: the B-tree's mean update is the cheapest (height probes");
+    println!("plus a leaf write) — the paper concedes exactly this. CONTROL 2 pays");
+    println!("a constant factor more on the mean (its J shifts), yet its *worst*");
+    println!("command is the only bounded one among the sequential organisations:");
+    println!("naive shifts O(M) pages, CONTROL 1/PMA redistribute O(M) on bad");
+    println!("commands, and overflow chaining degrades scans instead (see E6).");
+}

@@ -1,0 +1,64 @@
+//! Figure 1 of the paper: a 4-page (d=2, D=3)-dense file holding
+//! [3, 2, 1, 2] records (Figure 1a) and its calibrator with per-node
+//! densities p(v) (Figure 1b), printed alongside the g(v,·) thresholds.
+//!
+//! Run: `cargo run -p dsf-bench --bin fig1_calibrator`
+
+use dsf_bench::Table;
+use dsf_core::{DenseFile, DenseFileConfig, MacroBlocking, NodeId};
+
+fn main() {
+    let cfg = DenseFileConfig::control2(4, 2, 3)
+        .with_j(1)
+        .with_macro_blocking(MacroBlocking::Disabled);
+    let mut file: DenseFile<u64, ()> = DenseFile::new(cfg).unwrap();
+    let layout: Vec<Vec<(u64, ())>> = [3u64, 2, 1, 2]
+        .iter()
+        .enumerate()
+        .map(|(s, &n)| (0..n).map(|i| (s as u64 * 100 + i, ())).collect())
+        .collect();
+    file.bulk_load_per_slot(layout).unwrap();
+    file.check_invariants().unwrap();
+
+    let mut fig1a = Table::new(["page 1", "page 2", "page 3", "page 4"]);
+    let counts = file.slot_counts();
+    fig1a.row(counts.iter().map(|c| c.to_string()));
+    fig1a.print("Figure 1a — records per page (d=2, D=3)");
+
+    let cal = file.calibrator();
+    let mut fig1b = Table::new([
+        "node",
+        "range (pages)",
+        "N_v",
+        "M_v",
+        "p(v)",
+        "g(v,1)",
+        "balanced",
+    ]);
+    // Print the calibrator in the paper's reading order: root, internal
+    // level, leaves.
+    let mut nodes = cal.all_nodes();
+    nodes.sort_by_key(|n| (n.depth(), n.0));
+    for n in nodes {
+        let (lo, hi) = cal.range(n);
+        let label = if n == NodeId::ROOT {
+            "root".to_string()
+        } else if cal.is_leaf(n) {
+            format!("leaf {}", lo + 1)
+        } else {
+            format!("node {}", n.0)
+        };
+        fig1b.row([
+            label,
+            format!("{}-{}", lo + 1, hi + 1),
+            cal.count(n).to_string(),
+            cal.width(n).to_string(),
+            format!("{:.2}", cal.p_display(n)),
+            format!("{:.2}", cal.g_display(n, 3)),
+            (!cal.p_gt(n, 3)).to_string(),
+        ]);
+    }
+    fig1b.print("Figure 1b — the calibrator: densities p(v) vs BALANCE bounds g(v,1)");
+
+    println!("\nPaper's Figure 1b node densities: root 2, sons 2.5 / 1.5, leaves 3 2 1 2.");
+}

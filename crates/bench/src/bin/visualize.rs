@@ -1,0 +1,112 @@
+//! An ASCII visualizer for the calibrator — watch CONTROL 2 think.
+//!
+//! Renders the calibrator tree (densities `p(v)` against the four `g(v,·)`
+//! thresholds, warning flags, DEST pointers) and the per-page fill bars
+//! after every command of a small scripted session, so the evolutionary
+//! shifting is visible frame by frame. Defaults to the paper's Example 5.2
+//! file; pass `--pages N --min-density d --max-density D --j J` for other
+//! small geometries and `--commands N` for a longer hammer session.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin visualize`
+
+use dsf_core::{DenseFile, DenseFileConfig, MacroBlocking, NodeId};
+
+fn flag(args: &[String], name: &str) -> Option<u32> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn bar(count: u64, max: u64, width: usize) -> String {
+    let filled = ((count as f64 / max as f64) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled.min(width) { '#' } else { '.' });
+    }
+    s
+}
+
+fn render(file: &DenseFile<u64, ()>, title: &str) {
+    let cal = file.calibrator();
+    println!("\n=== {title} ===");
+    // Per-page fill bars.
+    let (_, dmax) = cal.densities();
+    for (s, &n) in file.slot_counts().iter().enumerate() {
+        println!("  page {:>2} |{}| {:>3}", s + 1, bar(n, dmax, 24), n);
+    }
+    // The tree, depth by depth.
+    let mut nodes = cal.all_nodes();
+    nodes.sort_by_key(|n| (n.depth(), n.0));
+    let mut depth = u32::MAX;
+    for n in nodes {
+        if n.depth() != depth {
+            depth = n.depth();
+            println!("  -- depth {depth} --");
+        }
+        let (lo, hi) = cal.range(n);
+        let warn = if cal.is_warned(n) {
+            format!(" WARN dest=page {}", cal.dest(n) + 1)
+        } else {
+            String::new()
+        };
+        println!(
+            "  node {:>3} pages {:>2}-{:<2}  p={:>6.2}  g0={:>6.2} g1/3={:>6.2} g2/3={:>6.2} g1={:>6.2}{}",
+            if n == NodeId::ROOT { "root".into() } else { n.0.to_string() },
+            lo + 1,
+            hi + 1,
+            cal.p_display(n),
+            cal.g_display(n, 0),
+            cal.g_display(n, 1),
+            cal.g_display(n, 2),
+            cal.g_display(n, 3),
+            warn,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pages = flag(&args, "--pages").unwrap_or(8);
+    let d = flag(&args, "--min-density").unwrap_or(9);
+    let big_d = flag(&args, "--max-density").unwrap_or(18);
+    let j = flag(&args, "--j").unwrap_or(3);
+    let commands = flag(&args, "--commands").unwrap_or(0) as u64;
+
+    let cfg = DenseFileConfig::control2(pages, d, big_d)
+        .with_j(j)
+        .with_macro_blocking(MacroBlocking::Disabled);
+    let mut file: DenseFile<u64, ()> = DenseFile::new(cfg).unwrap();
+
+    if commands == 0 && pages == 8 && d == 9 && big_d == 18 {
+        // The paper's Example 5.2 session.
+        let counts = [16u64, 1, 0, 1, 9, 9, 9, 16];
+        let layout: Vec<Vec<(u64, ())>> = counts
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| (0..n).map(|i| (s as u64 * 1000 + i + 1, ())).collect())
+            .collect();
+        file.bulk_load_per_slot(layout).unwrap();
+        render(&file, "t0 — the Example 5.2 initial state");
+        file.insert(7_500, ()).unwrap();
+        render(&file, "after Z1 — insert into page 8 (t4)");
+        file.insert(500, ()).unwrap();
+        render(&file, "after Z2 — insert into page 1 (t8)");
+    } else {
+        // A hammer session on the requested geometry.
+        let n0 = file.capacity() / 2;
+        file.bulk_load((0..n0).map(|i| (i << 20, ()))).unwrap();
+        render(&file, "bulk-loaded to half capacity");
+        let room = (file.capacity() - file.len()).min(commands.max(8)) as usize;
+        let keys = dsf_workloads::hammer(room, 5 << 20, 1);
+        let step = (keys.len() / 4).max(1);
+        for (i, k) in keys.iter().enumerate() {
+            file.insert(*k, ()).unwrap();
+            if (i + 1) % step == 0 || i + 1 == keys.len() {
+                render(&file, &format!("after {} hammer inserts", i + 1));
+            }
+        }
+    }
+    file.check_invariants().expect("invariants hold");
+    println!("\nall invariants hold; stats:\n{}", file.op_stats());
+}

@@ -1,0 +1,55 @@
+//! CI guard: the figure-reproduction binaries must keep reproducing the
+//! paper cell for cell. Runs the actual binaries and checks their verdict
+//! lines (the binaries assert internally too; this catches bit-rot in the
+//! harness itself).
+
+use std::process::Command;
+
+fn run(bin: &str) -> String {
+    let out = Command::new(bin)
+        .output()
+        .unwrap_or_else(|e| panic!("launch {bin}: {e}"));
+    assert!(out.status.success(), "{bin} failed: {out:?}");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn figure_1_reproduces() {
+    let out = run(env!("CARGO_BIN_EXE_fig1_calibrator"));
+    assert!(out.contains("Figure 1a"));
+    assert!(out.contains("Figure 1b"));
+    // Every node balanced.
+    assert!(
+        !out.contains("false"),
+        "an unbalanced node appeared:\n{out}"
+    );
+    // The paper's densities.
+    assert!(out.contains("2.50"));
+    assert!(out.contains("1.50"));
+}
+
+#[test]
+fn figure_4_reproduces() {
+    let out = run(env!("CARGO_BIN_EXE_fig4_example"));
+    assert!(out.contains("All 9 rows match the paper: YES"), "{out}");
+    // Spot-check the narration: the six shift quantities of Example 5.2.
+    for needle in [
+        "SHIFT(L8): moved 6 record(s) page 8 → page 7",
+        "SHIFT(L1): moved 13 record(s) page 1 → page 2",
+        "SHIFT(v3): moved 11 record(s) page 2 → page 1",
+        "SHIFT(v3): moved 5 record(s) page 5 → page 2",
+        "roll-back: DEST(v3) = page 1",
+    ] {
+        assert!(out.contains(needle), "missing: {needle}\n{out}");
+    }
+}
+
+#[test]
+fn visualizer_renders_the_example() {
+    let out = run(env!("CARGO_BIN_EXE_visualize"));
+    assert!(out.contains("t0 — the Example 5.2 initial state"));
+    assert!(out.contains("after Z2"));
+    assert!(out.contains("all invariants hold"));
+    // The t8 fill bars: page 5 ends at 4 records.
+    assert!(out.contains("roll-backs"), "stats footer missing:\n{out}");
+}

@@ -1,0 +1,26 @@
+//! # dsf-btree — the B+-tree comparator
+//!
+//! The paper positions CONTROL 2 against B-trees throughout: "update costs
+//! are probably somewhat higher under CONTROL 2 than under B-tree
+//! algorithms, but the advantage of storing records in sequential order will
+//! make CONTROL 2 desirable in those applications where frequent stream
+//! retrieval requests make the reduced disk-arm movement a significant
+//! savings" (§4). This crate provides the B+-tree side of that comparison,
+//! measured in the *same* cost model as the dense file:
+//!
+//! * every node occupies one physical page (its arena index is its page
+//!   number);
+//! * every node visit charges one page read, every node modification one
+//!   page write, through the shared [`dsf_pagestore::IoStats`];
+//! * an optional [`dsf_pagestore::TraceBuffer`] records the page sequence
+//!   for the rotational-disk model, which is where the B-tree loses on
+//!   streams: after a history of splits, logically adjacent leaves live at
+//!   scattered page numbers, so a range scan pays a seek per leaf, whereas
+//!   the dense file pays one seek total.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tree;
+
+pub use tree::{BPlusTree, BTreeConfig, BTreeError, BTreeIter};

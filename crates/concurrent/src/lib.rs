@@ -1,0 +1,541 @@
+//! # dsf-concurrent — a range-sharded concurrent dense file
+//!
+//! The paper's algorithms are sequential: every command runs its own
+//! J-shift maintenance pass against shared calibrator state. The standard
+//! deployment answer — used by every partitioned sequential store since —
+//! is *range sharding*: split the key space into contiguous stripes, give
+//! each stripe its own independent `(d,D)`-dense file behind a reader-writer
+//! lock, and route commands by key. Shards never exchange records, so each
+//! keeps the paper's per-command worst-case bound independently, updates to
+//! different stripes run in parallel, and ordered scans visit shards in
+//! key order (each stripe is still physically sequential on its own
+//! extent).
+//!
+//! Limitations are inherent and documented: a severely skewed workload can
+//! fill one shard while others sit empty (capacity is per shard — exactly
+//! like any range-partitioned system), and a cross-shard scan releases one
+//! shard's lock before taking the next, so it is *per-shard* consistent
+//! rather than a global snapshot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::RwLock;
+
+use dsf_core::{DenseFile, DenseFileConfig, DsfError, InvariantViolation};
+
+/// How keys map to shards: `shard i` owns `[i·stripe, (i+1)·stripe)` with
+/// the last shard absorbing the remainder of the `u64` space.
+#[derive(Debug, Clone, Copy)]
+struct Router {
+    shards: u32,
+    stripe: u64,
+}
+
+impl Router {
+    fn new(shards: u32) -> Self {
+        // Ceil so that `shards × stripe` covers the whole space.
+        let stripe = (u64::MAX / u64::from(shards)).saturating_add(1);
+        Router { shards, stripe }
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        ((key / self.stripe) as usize).min(self.shards as usize - 1)
+    }
+
+    /// First key of a shard (for scan planning).
+    fn shard_start(&self, shard: usize) -> u64 {
+        self.stripe.saturating_mul(shard as u64)
+    }
+}
+
+/// A concurrent ordered map: `N` range shards, each an independent
+/// [`DenseFile`] behind a [`parking_lot::RwLock`].
+///
+/// ```
+/// use dsf_concurrent::ShardedFile;
+/// use dsf_core::DenseFileConfig;
+///
+/// let file: ShardedFile<String> =
+///     ShardedFile::new(4, DenseFileConfig::control2(64, 8, 40)).unwrap();
+/// file.insert(10, "ten".into()).unwrap();
+/// file.insert(u64::MAX - 1, "far".into()).unwrap();
+/// assert_eq!(file.get(&10), Some("ten".into()));
+/// assert_eq!(file.len(), 2);
+/// let keys: Vec<u64> = file.collect_range(0, u64::MAX, usize::MAX)
+///     .into_iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![10, u64::MAX - 1]);
+/// ```
+pub struct ShardedFile<V> {
+    router: Router,
+    shards: Vec<RwLock<DenseFile<u64, V>>>,
+    /// Fixed at construction (`shards × d·M`); cached so callers don't take
+    /// every shard lock to read a constant.
+    capacity: u64,
+}
+
+impl<V> ShardedFile<V> {
+    /// Creates `shards` stripes, each an empty dense file built from
+    /// `per_shard` (so total capacity is `shards × d·M`).
+    pub fn new(shards: u32, per_shard: DenseFileConfig) -> Result<Self, DsfError> {
+        assert!(shards > 0, "at least one shard required");
+        let mut v = Vec::with_capacity(shards as usize);
+        for _ in 0..shards {
+            v.push(RwLock::new(DenseFile::new(per_shard)?));
+        }
+        let capacity = v.iter().map(|s| s.read().capacity()).sum();
+        Ok(ShardedFile {
+            router: Router::new(shards),
+            shards: v,
+            capacity,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.router.shards
+    }
+
+    /// The shard index a key routes to.
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.router.shard_of(key)
+    }
+
+    /// Total records across shards (takes each read lock briefly).
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no shard holds records.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Total capacity (`shards × d·M`); a constant, read lock-free.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Inserts a record into its stripe.
+    ///
+    /// # Errors
+    ///
+    /// [`DsfError::CapacityExceeded`] when the *stripe* is full — range
+    /// partitioning means a skewed workload can exhaust one stripe early.
+    pub fn insert(&self, key: u64, value: V) -> Result<Option<V>, DsfError> {
+        self.shards[self.router.shard_of(key)]
+            .write()
+            .insert(key, value)
+    }
+
+    /// Deletes a key from its stripe.
+    pub fn remove(&self, key: &u64) -> Option<V> {
+        self.shards[self.router.shard_of(*key)].write().remove(key)
+    }
+
+    /// Looks a key up (read lock; concurrent lookups don't block each
+    /// other).
+    pub fn get(&self, key: &u64) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shards[self.router.shard_of(*key)]
+            .read()
+            .get(key)
+            .cloned()
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &u64) -> bool {
+        self.shards[self.router.shard_of(*key)]
+            .read()
+            .contains_key(key)
+    }
+
+    /// Streams records with keys in `[lo, hi]` in ascending order into `f`,
+    /// visiting shards in key order. Per-shard consistent: each shard's
+    /// read lock is held only while that shard streams.
+    pub fn scan<F: FnMut(u64, &V)>(&self, lo: u64, hi: u64, mut f: F) {
+        let first = self.router.shard_of(lo);
+        let last = self.router.shard_of(hi);
+        for s in first..=last {
+            let shard = self.shards[s].read();
+            let from = lo.max(self.router.shard_start(s));
+            for (k, v) in shard.range(from..=hi) {
+                f(*k, v);
+            }
+        }
+    }
+
+    /// Collects up to `limit` records with keys in `[lo, hi]`.
+    pub fn collect_range(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, V)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::new();
+        let first = self.router.shard_of(lo);
+        let last = self.router.shard_of(hi);
+        'outer: for s in first..=last {
+            let shard = self.shards[s].read();
+            let from = lo.max(self.router.shard_start(s));
+            for (k, v) in shard.range(from..=hi) {
+                if out.len() >= limit {
+                    break 'outer;
+                }
+                out.push((*k, v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Number of records with keys strictly below `key` across all shards.
+    pub fn rank(&self, key: &u64) -> u64 {
+        let target = self.router.shard_of(*key);
+        let mut rank = 0;
+        for (s, shard) in self.shards.iter().enumerate() {
+            match s.cmp(&target) {
+                std::cmp::Ordering::Less => rank += shard.read().len(),
+                std::cmp::Ordering::Equal => rank += shard.read().rank(key),
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        rank
+    }
+
+    /// Runs the full paper invariant checker on every shard.
+    pub fn check_invariants(&self) -> Result<(), Vec<(usize, InvariantViolation)>> {
+        let mut out = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if let Err(vs) = shard.read().check_invariants() {
+                out.extend(vs.into_iter().map(|v| (s, v)));
+            }
+        }
+        if out.is_empty() {
+            Ok(())
+        } else {
+            Err(out)
+        }
+    }
+
+    /// Worst single command across shards (the per-stripe worst-case bound).
+    pub fn max_command_accesses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().op_stats().max_accesses)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Runs `f` against one shard's file under its read lock (metrics,
+    /// diagnostics).
+    pub fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&DenseFile<u64, V>) -> T) -> T {
+        f(&self.shards[shard].read())
+    }
+
+    /// Vacuums every shard (each under its own write lock, one at a time).
+    pub fn vacuum_all(&self) {
+        for shard in &self.shards {
+            shard.write().vacuum();
+        }
+    }
+}
+
+impl<V: dsf_core::snapshot::Codec + Clone> ShardedFile<V> {
+    /// Writes a globally consistent snapshot: takes *all* shard read locks
+    /// before serializing any of them, so the result is a point-in-time
+    /// image of the whole map (writers wait; readers proceed).
+    pub fn write_snapshot<W: std::io::Write>(
+        &self,
+        w: &mut W,
+    ) -> Result<(), dsf_core::SnapshotError> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        (guards.len() as u32).encode_to(w)?;
+        for g in &guards {
+            let mut bytes = Vec::new();
+            g.write_snapshot(&mut bytes)?;
+            (bytes.len() as u64).encode_to(w)?;
+            w.write_all(&bytes).map_err(dsf_core::SnapshotError::Io)?;
+        }
+        Ok(())
+    }
+
+    /// Restores a sharded file written by [`ShardedFile::write_snapshot`].
+    pub fn read_snapshot<R: std::io::Read>(r: &mut R) -> Result<Self, dsf_core::SnapshotError> {
+        let mut all = Vec::new();
+        r.read_to_end(&mut all)
+            .map_err(dsf_core::SnapshotError::Io)?;
+        let mut input = all.as_slice();
+        let shards = read_u32(&mut input)?;
+        if shards == 0 {
+            return Err(dsf_core::SnapshotError::Corrupt("zero shards"));
+        }
+        let router = Router::new(shards);
+        let mut v = Vec::with_capacity(shards as usize);
+        for shard in 0..shards as usize {
+            let len = read_u64(&mut input)? as usize;
+            if input.len() < len {
+                return Err(dsf_core::SnapshotError::Corrupt("short shard payload"));
+            }
+            let (head, tail) = input.split_at(len);
+            input = tail;
+            let mut head = head;
+            let file: DenseFile<u64, V> = DenseFile::read_snapshot(&mut head)?;
+            // The outer framing carries no checksum, so a reordered or
+            // forged snapshot could place keys in the wrong stripe — where
+            // routing would silently miss them. Reject any shard whose key
+            // range escapes its stripe.
+            let in_stripe = |kv: (&u64, &V)| router.shard_of(*kv.0) == shard;
+            if !(file.first().is_none_or(in_stripe) && file.last().is_none_or(in_stripe)) {
+                return Err(dsf_core::SnapshotError::Corrupt(
+                    "shard contents outside its key stripe",
+                ));
+            }
+            v.push(RwLock::new(file));
+        }
+        if !input.is_empty() {
+            return Err(dsf_core::SnapshotError::Corrupt("trailing bytes"));
+        }
+        let capacity = v.iter().map(|s| s.read().capacity()).sum();
+        Ok(ShardedFile {
+            router,
+            shards: v,
+            capacity,
+        })
+    }
+}
+
+/// Tiny write-side helpers (the core `Codec` writes into a `Vec`; here we
+/// stream straight to the writer).
+trait EncodeTo {
+    fn encode_to<W: std::io::Write>(&self, w: &mut W) -> Result<(), dsf_core::SnapshotError>;
+}
+
+impl EncodeTo for u32 {
+    fn encode_to<W: std::io::Write>(&self, w: &mut W) -> Result<(), dsf_core::SnapshotError> {
+        w.write_all(&self.to_le_bytes())
+            .map_err(dsf_core::SnapshotError::Io)
+    }
+}
+
+impl EncodeTo for u64 {
+    fn encode_to<W: std::io::Write>(&self, w: &mut W) -> Result<(), dsf_core::SnapshotError> {
+        w.write_all(&self.to_le_bytes())
+            .map_err(dsf_core::SnapshotError::Io)
+    }
+}
+
+fn read_u32(input: &mut &[u8]) -> Result<u32, dsf_core::SnapshotError> {
+    if input.len() < 4 {
+        return Err(dsf_core::SnapshotError::Corrupt("short header"));
+    }
+    let (head, tail) = input.split_at(4);
+    *input = tail;
+    Ok(u32::from_le_bytes(head.try_into().expect("four bytes")))
+}
+
+fn read_u64(input: &mut &[u8]) -> Result<u64, dsf_core::SnapshotError> {
+    if input.len() < 8 {
+        return Err(dsf_core::SnapshotError::Corrupt("short header"));
+    }
+    let (head, tail) = input.split_at(8);
+    *input = tail;
+    Ok(u64::from_le_bytes(head.try_into().expect("eight bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn file(shards: u32) -> ShardedFile<u64> {
+        ShardedFile::new(shards, DenseFileConfig::control2(32, 8, 40)).unwrap()
+    }
+
+    #[test]
+    fn routing_covers_the_whole_key_space() {
+        let f = file(5);
+        assert_eq!(f.shard_of(0), 0);
+        assert_eq!(f.shard_of(u64::MAX), 4);
+        // Boundaries are monotone.
+        let mut prev = 0;
+        for k in (0..64).map(|i| i * (u64::MAX / 63)) {
+            let s = f.shard_of(k);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn basic_map_semantics() {
+        let f = file(4);
+        assert_eq!(f.insert(1, 10).unwrap(), None);
+        assert_eq!(f.insert(u64::MAX / 2, 20).unwrap(), None);
+        assert_eq!(f.insert(u64::MAX - 5, 30).unwrap(), None);
+        assert_eq!(f.insert(1, 11).unwrap(), Some(10));
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.get(&1), Some(11));
+        assert!(f.contains_key(&(u64::MAX - 5)));
+        assert_eq!(f.remove(&1), Some(11));
+        assert_eq!(f.remove(&1), None);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scans_cross_shard_boundaries_in_order() {
+        let f = file(8);
+        let stripe = u64::MAX / 8 + 1;
+        // 70 keys spread over ~7 stripes (stays well inside u64).
+        let keys: Vec<u64> = (0..70u64).map(|i| i * (stripe / 10)).collect();
+        for &k in &keys {
+            f.insert(k, k).unwrap();
+        }
+        let got: Vec<u64> = f
+            .collect_range(0, u64::MAX, usize::MAX)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(got, want);
+        // Bounded range crossing one boundary.
+        let lo = stripe - 5 * (stripe / 10);
+        let hi = stripe + 5 * (stripe / 10);
+        let got = f.collect_range(lo, hi, usize::MAX);
+        assert!(got.iter().all(|(k, _)| *k >= lo && *k <= hi));
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        // Limit applies across shards.
+        assert_eq!(f.collect_range(0, u64::MAX, 7).len(), 7);
+    }
+
+    #[test]
+    fn rank_spans_shards() {
+        let f = file(4);
+        let stripe = u64::MAX / 4 + 1;
+        for i in 0..40u64 {
+            f.insert(i * (stripe / 10), i).unwrap();
+        }
+        assert_eq!(f.rank(&0), 0);
+        assert_eq!(f.rank(&u64::MAX), 40);
+        for probe in [stripe / 2, stripe * 2, stripe * 3 + 17] {
+            let want = (0..40u64).filter(|i| i * (stripe / 10) < probe).count() as u64;
+            assert_eq!(f.rank(&probe), want, "rank({probe})");
+        }
+    }
+
+    #[test]
+    fn capacity_is_per_stripe() {
+        let f = ShardedFile::<u64>::new(2, DenseFileConfig::control2(2, 1, 8)).unwrap();
+        assert_eq!(f.capacity(), 4);
+        // Fill shard 0 only: two keys fit, the third fails even though
+        // shard 1 is empty.
+        f.insert(0, 0).unwrap();
+        f.insert(1, 0).unwrap();
+        assert!(matches!(
+            f.insert(2, 0),
+            Err(DsfError::CapacityExceeded { .. })
+        ));
+        // Shard 1 still accepts.
+        f.insert(u64::MAX, 0).unwrap();
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn parallel_writers_on_distinct_stripes() {
+        let f = Arc::new(file(8));
+        let stripe = u64::MAX / 8 + 1;
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                let base = t * stripe;
+                for i in 0..200u64 {
+                    f.insert(base + i * 1000, t).unwrap();
+                }
+                for i in 0..100u64 {
+                    assert_eq!(f.remove(&(base + i * 2000)), Some(t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.len(), 8 * 100);
+        f.check_invariants().unwrap();
+        let all = f.collect_range(0, u64::MAX, usize::MAX);
+        assert_eq!(all.len(), 800);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn sharded_snapshot_round_trip() {
+        let f = file(4);
+        for i in 0..200u64 {
+            f.insert(i * (u64::MAX / 256), i).unwrap();
+        }
+        f.vacuum_all();
+        let mut bytes = Vec::new();
+        f.write_snapshot(&mut bytes).unwrap();
+        let g: ShardedFile<u64> = ShardedFile::read_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(g.shard_count(), 4);
+        assert_eq!(g.len(), f.len());
+        let a = f.collect_range(0, u64::MAX, usize::MAX);
+        let b = g.collect_range(0, u64::MAX, usize::MAX);
+        assert_eq!(a, b);
+        g.check_invariants().unwrap();
+
+        // Corruption is rejected.
+        let mut bad = bytes.clone();
+        let n = bad.len();
+        bad[n / 2] ^= 0xff;
+        assert!(ShardedFile::<u64>::read_snapshot(&mut bad.as_slice()).is_err());
+        assert!(ShardedFile::<u64>::read_snapshot(&mut &bytes[..n / 3]).is_err());
+
+        // A reordered snapshot (shard payloads swapped) must be rejected:
+        // its keys would live outside their router stripes.
+        let mut fresh: Vec<ShardedFile<u64>> = Vec::new();
+        let _ = &mut fresh;
+        let mut input = &bytes[4..];
+        let mut payloads: Vec<&[u8]> = Vec::new();
+        for _ in 0..4 {
+            let len = u64::from_le_bytes(input[..8].try_into().unwrap()) as usize;
+            payloads.push(&input[..8 + len]);
+            input = &input[8 + len..];
+        }
+        payloads.swap(0, 3);
+        let mut forged = bytes[..4].to_vec();
+        for p in payloads {
+            forged.extend_from_slice(p);
+        }
+        assert!(
+            ShardedFile::<u64>::read_snapshot(&mut forged.as_slice()).is_err(),
+            "reordered shards must be rejected"
+        );
+    }
+
+    #[test]
+    fn readers_run_against_concurrent_writers() {
+        let f = Arc::new(file(4));
+        for i in 0..400u64 {
+            f.insert(i * (u64::MAX / 400), i).unwrap();
+        }
+        let writer = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                // Spread writes over all stripes to stay within per-stripe
+                // capacity.
+                for i in 0..500u64 {
+                    f.insert(i * (u64::MAX / 512) + 13, i).unwrap();
+                }
+            })
+        };
+        // Readers: scans must always be internally sorted even mid-write.
+        for _ in 0..50 {
+            let got = f.collect_range(0, u64::MAX, 10_000);
+            assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        writer.join().unwrap();
+        f.check_invariants().unwrap();
+        assert!(f.max_command_accesses() > 0);
+    }
+}

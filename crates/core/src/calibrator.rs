@@ -1,0 +1,832 @@
+//! The calibrator tree (paper §3).
+//!
+//! An implicit binary tree over the file's `M` logical page addresses. Every
+//! node `v` covers a contiguous address range `RANGE(v) = [A⁻ᵥ, A⁺ᵥ]` and
+//! stores a *rank counter* `N_v` — the number of records currently stored in
+//! that range. The root covers the whole file; an internal node with range
+//! `[lo, hi]` splits at `mid = ⌊(lo+hi)/2⌋` into `[lo, mid]` and
+//! `[mid+1, hi]`; a leaf covers exactly one page.
+//!
+//! On top of the paper's counters this implementation keeps:
+//!
+//! * a `min_key` per node — the concretization (DESIGN.md §3.1) that lets
+//!   the calibrator act as the binary search tree of step 1;
+//! * per-node `WARNING` flags and `DEST` pointers for CONTROL 2, plus two
+//!   subtree aggregates (`warn_count`, `max_warn_depth`) that make the
+//!   paper's SELECT subroutine an `O(log M)` walk;
+//! * **exact integer** density-threshold comparisons: with `L = ⌈log₂M⌉`
+//!   and thresholds `g(v, q/3) = d + (depth(v) + q/3 − 1)/L · (D−d)`,
+//!   the test `p(v) ≥ g(v, q/3)` is evaluated as
+//!   `3L·N_v ≥ M_v·(3L·d + (3·depth(v)+q−3)(D−d))` — no floating point
+//!   anywhere in the invariant logic.
+//!
+//! The calibrator is an in-memory structure; consulting or updating it
+//! charges no page accesses, exactly as in the paper's cost model.
+
+use dsf_pagestore::Key;
+use std::cmp::Ordering;
+
+use crate::config::ceil_log2;
+
+/// Identifier of a calibrator node: its 1-based heap index (root = 1,
+/// children of `i` are `2i` and `2i+1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root node.
+    pub const ROOT: NodeId = NodeId(1);
+
+    /// Depth of this node (root = 0, the paper's convention).
+    pub fn depth(self) -> u32 {
+        self.0.ilog2()
+    }
+
+    /// Parent node (`None` for the root).
+    pub fn parent(self) -> Option<NodeId> {
+        if self.0 <= 1 {
+            None
+        } else {
+            Some(NodeId(self.0 >> 1))
+        }
+    }
+
+    /// The paper's `DIR(v)`: `true` iff `v` is the right son of its father.
+    pub fn is_right_child(self) -> bool {
+        self.0 > 1 && self.0 & 1 == 1
+    }
+
+    fn left(self) -> NodeId {
+        NodeId(self.0 << 1)
+    }
+
+    fn right(self) -> NodeId {
+        NodeId((self.0 << 1) | 1)
+    }
+}
+
+const NO_RANGE: u32 = u32::MAX;
+
+/// The calibrator tree over `slots` logical pages.
+#[derive(Debug, Clone)]
+pub struct Calibrator<K> {
+    slots: u32,
+    /// `L = max(1, ⌈log₂ slots⌉)` — the threshold denominator.
+    log_slots: u32,
+    /// Per-slot lower density `d#`.
+    dmin: u64,
+    /// Per-slot upper density `D#`.
+    dmax: u64,
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    count: Vec<u64>,
+    min_key: Vec<Option<K>>,
+    warning: Vec<bool>,
+    dest: Vec<u32>,
+    /// Number of warned nodes in the subtree (including the node itself).
+    warn_count: Vec<u32>,
+    /// Maximum depth of a warned node in the subtree, or -1.
+    max_warn_depth: Vec<i32>,
+    leaf: Vec<u32>,
+    total: u64,
+}
+
+impl<K: Key> Calibrator<K> {
+    /// Builds the calibrator for `slots` pages with per-slot densities
+    /// `dmin < dmax`.
+    pub fn new(slots: u32, dmin: u64, dmax: u64) -> Self {
+        assert!(slots > 0, "calibrator needs at least one slot");
+        assert!(dmin < dmax, "calibrator needs dmin < dmax");
+        let l = ceil_log2(slots);
+        let size = 1usize << (l + 1);
+        let mut cal = Calibrator {
+            slots,
+            log_slots: l.max(1),
+            dmin,
+            dmax,
+            lo: vec![NO_RANGE; size],
+            hi: vec![NO_RANGE; size],
+            count: vec![0; size],
+            min_key: vec![None; size],
+            warning: vec![false; size],
+            dest: vec![0; size],
+            warn_count: vec![0; size],
+            max_warn_depth: vec![-1; size],
+            leaf: vec![0; slots as usize],
+            total: 0,
+        };
+        // Iterative construction of the range decomposition.
+        let mut stack = vec![(NodeId::ROOT, 0u32, slots - 1)];
+        while let Some((n, lo, hi)) = stack.pop() {
+            cal.lo[n.0 as usize] = lo;
+            cal.hi[n.0 as usize] = hi;
+            if lo == hi {
+                cal.leaf[lo as usize] = n.0;
+            } else {
+                let mid = lo + (hi - lo) / 2; // == ⌊(lo+hi)/2⌋ without overflow
+                stack.push((n.left(), lo, mid));
+                stack.push((n.right(), mid + 1, hi));
+            }
+        }
+        cal
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry.
+    // ------------------------------------------------------------------
+
+    /// Number of slots (the calibrator's `M`).
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+
+    /// The threshold denominator `L = max(1, ⌈log₂ slots⌉)`.
+    pub fn log_slots(&self) -> u32 {
+        self.log_slots
+    }
+
+    /// Per-slot density bounds `(d#, D#)`.
+    pub fn densities(&self) -> (u64, u64) {
+        (self.dmin, self.dmax)
+    }
+
+    /// Whether `n` is a node of this tree.
+    pub fn exists(&self, n: NodeId) -> bool {
+        (n.0 as usize) < self.lo.len() && self.lo[n.0 as usize] != NO_RANGE
+    }
+
+    /// `RANGE(v) = [A⁻ᵥ, A⁺ᵥ]` in 0-based slot addresses.
+    pub fn range(&self, n: NodeId) -> (u32, u32) {
+        debug_assert!(self.exists(n));
+        (self.lo[n.0 as usize], self.hi[n.0 as usize])
+    }
+
+    /// `M_v`: the number of slots in `RANGE(v)`.
+    pub fn width(&self, n: NodeId) -> u64 {
+        let (lo, hi) = self.range(n);
+        u64::from(hi - lo) + 1
+    }
+
+    /// Whether `n` is a leaf (covers a single slot).
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        let (lo, hi) = self.range(n);
+        lo == hi
+    }
+
+    /// The children of an internal node.
+    pub fn children(&self, n: NodeId) -> Option<(NodeId, NodeId)> {
+        if self.is_leaf(n) {
+            None
+        } else {
+            Some((n.left(), n.right()))
+        }
+    }
+
+    /// The leaf covering `slot`.
+    pub fn leaf_of(&self, slot: u32) -> NodeId {
+        NodeId(self.leaf[slot as usize])
+    }
+
+    /// Whether `slot ∈ RANGE(n)`.
+    pub fn contains(&self, n: NodeId, slot: u32) -> bool {
+        let (lo, hi) = self.range(n);
+        lo <= slot && slot <= hi
+    }
+
+    // ------------------------------------------------------------------
+    // Rank counters and search keys.
+    // ------------------------------------------------------------------
+
+    /// The rank counter `N_v`.
+    pub fn count(&self, n: NodeId) -> u64 {
+        self.count[n.0 as usize]
+    }
+
+    /// Total records in the file (`N_root`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Minimum key stored in `RANGE(n)`, if any.
+    pub fn min_key(&self, n: NodeId) -> Option<K> {
+        self.min_key[n.0 as usize]
+    }
+
+    /// The leaf-to-root path of `slot`, leaf first.
+    pub fn path_to_root(&self, slot: u32) -> impl Iterator<Item = NodeId> {
+        let mut cur = Some(self.leaf_of(slot));
+        std::iter::from_fn(move || {
+            let n = cur?;
+            cur = n.parent();
+            Some(n)
+        })
+    }
+
+    /// Applies a record-count delta along the leaf-to-root path of `slot`.
+    pub fn add_count(&mut self, slot: u32, delta: i64) {
+        for n in self.path_to_root(slot) {
+            let c = &mut self.count[n.0 as usize];
+            *c = c
+                .checked_add_signed(delta)
+                .expect("calibrator count underflow");
+        }
+        self.total = self
+            .total
+            .checked_add_signed(delta)
+            .expect("calibrator total underflow");
+    }
+
+    /// Refreshes the cached minimum key along the leaf-to-root path of
+    /// `slot`, given the slot's new minimum.
+    pub fn refresh_min(&mut self, slot: u32, slot_min: Option<K>) {
+        let leaf = self.leaf_of(slot);
+        self.min_key[leaf.0 as usize] = slot_min;
+        let mut n = leaf;
+        while let Some(p) = n.parent() {
+            let (l, r) = (p.left(), p.right());
+            let lm = self.min_key[l.0 as usize];
+            let rm = if self.exists(r) {
+                self.min_key[r.0 as usize]
+            } else {
+                None
+            };
+            let new = match (lm, rm) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            if self.min_key[p.0 as usize] == new {
+                break; // ancestors unchanged
+            }
+            self.min_key[p.0 as usize] = new;
+            n = p;
+        }
+    }
+
+    /// Sets a leaf's counter and minimum without propagating (bulk-load /
+    /// redistribution helper; pair with [`Calibrator::recompute_subtree`]).
+    pub fn set_leaf_raw(&mut self, slot: u32, count: u64, min: Option<K>) {
+        let leaf = self.leaf_of(slot);
+        self.count[leaf.0 as usize] = count;
+        self.min_key[leaf.0 as usize] = min;
+    }
+
+    /// Recomputes counters and minimum keys of every internal node in the
+    /// subtree of `n` from its leaves, then refreshes `total`.
+    pub fn recompute_subtree(&mut self, n: NodeId) {
+        self.recompute_inner(n);
+        // Propagate count/min deltas above n: ancestors sum their children.
+        let mut cur = n;
+        while let Some(p) = cur.parent() {
+            let (l, r) = (p.left(), p.right());
+            let rc = if self.exists(r) {
+                self.count[r.0 as usize]
+            } else {
+                0
+            };
+            self.count[p.0 as usize] = self.count[l.0 as usize] + rc;
+            let lm = self.min_key[l.0 as usize];
+            let rm = if self.exists(r) {
+                self.min_key[r.0 as usize]
+            } else {
+                None
+            };
+            self.min_key[p.0 as usize] = match (lm, rm) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            cur = p;
+        }
+        self.total = self.count[NodeId::ROOT.0 as usize];
+    }
+
+    fn recompute_inner(&mut self, n: NodeId) {
+        if self.is_leaf(n) {
+            return;
+        }
+        let (l, r) = (n.left(), n.right());
+        self.recompute_inner(l);
+        self.recompute_inner(r);
+        self.count[n.0 as usize] = self.count[l.0 as usize] + self.count[r.0 as usize];
+        let (lm, rm) = (self.min_key[l.0 as usize], self.min_key[r.0 as usize]);
+        self.min_key[n.0 as usize] = match (lm, rm) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+    }
+
+    // ------------------------------------------------------------------
+    // Density thresholds (exact integer arithmetic).
+    // ------------------------------------------------------------------
+
+    /// Compares `p(v)` with `g(v, q/3)` exactly. `q ∈ {0, 1, 2, 3}` selects
+    /// the threshold (`g(v,0)`, `g(v,⅓)`, `g(v,⅔)`, `g(v,1)`).
+    pub fn density_cmp(&self, n: NodeId, q: u8) -> Ordering {
+        debug_assert!(q <= 3);
+        let l = i128::from(self.log_slots);
+        let lhs = 3 * l * i128::from(self.count(n));
+        let rhs = self.g_numerator(n, q);
+        lhs.cmp(&rhs)
+    }
+
+    /// `M_v · 3L · g(v, q/3)` as an exact integer.
+    fn g_numerator(&self, n: NodeId, q: u8) -> i128 {
+        let l = i128::from(self.log_slots);
+        let depth = i128::from(n.depth());
+        let gap = i128::from(self.dmax - self.dmin);
+        let per_slot = 3 * l * i128::from(self.dmin) + (3 * depth + i128::from(q) - 3) * gap;
+        i128::from(self.width(n)) * per_slot
+    }
+
+    /// `p(v) ≥ g(v, q/3)`.
+    pub fn p_ge(&self, n: NodeId, q: u8) -> bool {
+        self.density_cmp(n, q) != Ordering::Less
+    }
+
+    /// `p(v) ≤ g(v, q/3)`.
+    pub fn p_le(&self, n: NodeId, q: u8) -> bool {
+        self.density_cmp(n, q) != Ordering::Greater
+    }
+
+    /// `p(v) > g(v, q/3)`.
+    pub fn p_gt(&self, n: NodeId, q: u8) -> bool {
+        self.density_cmp(n, q) == Ordering::Greater
+    }
+
+    /// The smallest number of records whose addition to `RANGE(n)` makes
+    /// `p(n) ≥ g(n, q/3)` (0 if already there). This is SHIFT's step-2 stop
+    /// computation, done in closed form instead of record-at-a-time.
+    pub fn records_until_ge(&self, n: NodeId, q: u8) -> u64 {
+        let l = i128::from(self.log_slots);
+        let lhs = 3 * l * i128::from(self.count(n));
+        let rhs = self.g_numerator(n, q);
+        if lhs >= rhs {
+            0
+        } else {
+            let deficit = rhs - lhs;
+            let step = 3 * l;
+            ((deficit + step - 1) / step) as u64
+        }
+    }
+
+    /// `g(v, q/3)` as a float, for display only (figures, diagnostics).
+    pub fn g_display(&self, n: NodeId, q: u8) -> f64 {
+        self.g_numerator(n, q) as f64 / (3.0 * f64::from(self.log_slots) * self.width(n) as f64)
+    }
+
+    /// `p(v)` as a float, for display only.
+    pub fn p_display(&self, n: NodeId) -> f64 {
+        self.count(n) as f64 / self.width(n) as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Key search (the paper's "use the calibrator as a binary search tree").
+    // ------------------------------------------------------------------
+
+    /// The slot that holds the greatest record with key ≤ `key` — the slot
+    /// step 1 addresses for both lookups and insertions. Falls back to the
+    /// leftmost descent when no such record exists (inserting there keeps
+    /// the file sorted). Returns slot 0 for an empty file.
+    pub fn find_slot(&self, key: &K) -> u32 {
+        let mut n = NodeId::ROOT;
+        while let Some((l, r)) = self.children(n) {
+            let go_right = self.count[r.0 as usize] > 0
+                && self.min_key[r.0 as usize].is_some_and(|m| m <= *key);
+            n = if go_right { r } else { l };
+        }
+        self.range(n).0
+    }
+
+    /// Smallest non-empty slot in `[from, hi]`, using the counters only.
+    pub fn next_nonempty(&self, from: u32, hi: u32) -> Option<u32> {
+        self.scan_nonempty(NodeId::ROOT, from, hi, true)
+    }
+
+    /// Largest non-empty slot in `[lo, upto]`, using the counters only.
+    pub fn prev_nonempty(&self, lo: u32, upto: u32) -> Option<u32> {
+        self.scan_nonempty(NodeId::ROOT, lo, upto, false)
+    }
+
+    fn scan_nonempty(&self, n: NodeId, qlo: u32, qhi: u32, first: bool) -> Option<u32> {
+        if qlo > qhi {
+            return None;
+        }
+        let (lo, hi) = self.range(n);
+        if hi < qlo || lo > qhi || self.count[n.0 as usize] == 0 {
+            return None;
+        }
+        match self.children(n) {
+            None => Some(lo),
+            Some((l, r)) => {
+                let (a, b) = if first { (l, r) } else { (r, l) };
+                self.scan_nonempty(a, qlo, qhi, first)
+                    .or_else(|| self.scan_nonempty(b, qlo, qhi, first))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Warning flags, DEST pointers, SELECT support.
+    // ------------------------------------------------------------------
+
+    /// `WARNING(v)`.
+    pub fn is_warned(&self, n: NodeId) -> bool {
+        self.warning[n.0 as usize]
+    }
+
+    /// Raises or lowers `WARNING(v)`, maintaining the subtree aggregates
+    /// that make SELECT an `O(log M)` operation.
+    pub fn set_warning(&mut self, n: NodeId, on: bool) {
+        if self.warning[n.0 as usize] == on {
+            return;
+        }
+        self.warning[n.0 as usize] = on;
+        let mut cur = n;
+        loop {
+            let i = cur.0 as usize;
+            if on {
+                self.warn_count[i] += 1;
+            } else {
+                self.warn_count[i] -= 1;
+            }
+            // Recompute max warned depth from self + children.
+            let mut mwd = if self.warning[i] {
+                cur.depth() as i32
+            } else {
+                -1
+            };
+            if let Some((l, r)) = self.children(cur) {
+                mwd = mwd.max(self.max_warn_depth[l.0 as usize]);
+                if self.exists(r) {
+                    mwd = mwd.max(self.max_warn_depth[r.0 as usize]);
+                }
+            }
+            self.max_warn_depth[i] = mwd;
+            match cur.parent() {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+    }
+
+    /// Number of warned nodes in the whole tree.
+    pub fn warned_total(&self) -> u32 {
+        self.warn_count[NodeId::ROOT.0 as usize]
+    }
+
+    /// `DEST(v)` — meaningful only while `v` is warned.
+    pub fn dest(&self, n: NodeId) -> u32 {
+        self.dest[n.0 as usize]
+    }
+
+    /// Sets `DEST(v)`.
+    pub fn set_dest(&mut self, n: NodeId, slot: u32) {
+        self.dest[n.0 as usize] = slot;
+    }
+
+    /// The paper's `SELECT(L)` for the leaf of `slot`:
+    ///
+    /// 1. find the lowest ancestor `α` of the leaf with a warned *proper*
+    ///    descendant;
+    /// 2. return a deepest warned descendant of `α` (leftmost on ties).
+    ///
+    /// Returns `None` when no node in the tree is warned.
+    pub fn select(&self, slot: u32) -> Option<NodeId> {
+        let a = self.lowest_ancestor_with_warned_descendant(slot)?;
+        // Deepest warned proper descendant of `a`.
+        let (l, r) = self
+            .children(a)
+            .expect("α has a proper descendant, so is internal");
+        let lm = self.max_warn_depth[l.0 as usize];
+        let rm = if self.exists(r) {
+            self.max_warn_depth[r.0 as usize]
+        } else {
+            -1
+        };
+        let target = lm.max(rm);
+        debug_assert!(target >= 0);
+        let mut cur = if lm >= rm { l } else { r };
+        while cur.depth() as i32 != target || !self.warning[cur.0 as usize] {
+            let (l, r) = self
+                .children(cur)
+                .expect("descent invariant: a deep-enough warned node exists below");
+            let lm = self.max_warn_depth[l.0 as usize];
+            cur = if lm == target { l } else { r };
+        }
+        Some(cur)
+    }
+
+    /// SELECT step 1: the lowest ancestor `α` of `slot`'s leaf with a
+    /// warned *proper* descendant (shared by SELECT and its ablation
+    /// variant so the two cannot drift).
+    fn lowest_ancestor_with_warned_descendant(&self, slot: u32) -> Option<NodeId> {
+        let mut a = self.leaf_of(slot).parent()?;
+        loop {
+            let proper = self.warn_count[a.0 as usize] - u32::from(self.warning[a.0 as usize]);
+            if proper > 0 {
+                return Some(a);
+            }
+            a = a.parent()?; // root without warned proper descendants → None
+        }
+    }
+
+    /// Ablation variant of SELECT (E8): the *shallowest* warned proper
+    /// descendant of the paper's `α`, breadth-first, instead of the deepest.
+    pub fn select_shallowest(&self, slot: u32) -> Option<NodeId> {
+        let a = self.lowest_ancestor_with_warned_descendant(slot)?;
+        let mut queue = std::collections::VecDeque::new();
+        let (l, r) = self.children(a).expect("α is internal");
+        queue.push_back(l);
+        if self.exists(r) {
+            queue.push_back(r);
+        }
+        while let Some(n) = queue.pop_front() {
+            if self.warn_count[n.0 as usize] == 0 {
+                continue;
+            }
+            if self.warning[n.0 as usize] {
+                return Some(n);
+            }
+            if let Some((l, r)) = self.children(n) {
+                queue.push_back(l);
+                if self.exists(r) {
+                    queue.push_back(r);
+                }
+            }
+        }
+        None
+    }
+
+    /// Every warned node (checker/diagnostics; `O(size)`).
+    pub fn warned_nodes(&self) -> Vec<NodeId> {
+        (1..self.lo.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.exists(n) && self.warning[n.0 as usize])
+            .collect()
+    }
+
+    /// Every node of the tree in heap order (checker/diagnostics).
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        (1..self.lo.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.exists(n))
+            .collect()
+    }
+
+    /// The nodes of `UP(v)` for a shift from `source` towards `dest`: every
+    /// node containing `dest` but not `source`, i.e. the path from the leaf
+    /// of `dest` up to (excluding) the least common ancestor.
+    pub fn up_path(&self, dest: u32, source: u32) -> Vec<NodeId> {
+        debug_assert_ne!(dest, source);
+        let mut out = Vec::with_capacity(self.log_slots as usize + 1);
+        let mut n = self.leaf_of(dest);
+        while !self.contains(n, source) {
+            out.push(n);
+            n = n.parent().expect("root contains every slot");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Example 5.2 calibrator: M=8, d=9, D=18 (Figure 3).
+    fn example_cal() -> Calibrator<u64> {
+        Calibrator::new(8, 9, 18)
+    }
+
+    /// Loads the paper's t₀ distribution [16,1,0,1,9,9,9,16].
+    fn load_t0(cal: &mut Calibrator<u64>) {
+        for (slot, &n) in [16u64, 1, 0, 1, 9, 9, 9, 16].iter().enumerate() {
+            let min = if n > 0 {
+                Some(slot as u64 * 1000)
+            } else {
+                None
+            };
+            cal.set_leaf_raw(slot as u32, n, min);
+        }
+        cal.recompute_subtree(NodeId::ROOT);
+    }
+
+    #[test]
+    fn geometry_matches_figure_3() {
+        let cal = example_cal();
+        assert_eq!(cal.range(NodeId::ROOT), (0, 7));
+        let (v2, v3) = cal.children(NodeId::ROOT).unwrap();
+        assert_eq!(cal.range(v2), (0, 3)); // pages 1-4 in the paper's 1-based numbering
+        assert_eq!(cal.range(v3), (4, 7)); // pages 5-8
+        let (v6, v7) = cal.children(v3).unwrap();
+        assert_eq!(cal.range(v6), (4, 5));
+        assert_eq!(cal.range(v7), (6, 7));
+        assert_eq!(cal.leaf_of(7), NodeId(15));
+        assert!(cal.is_leaf(NodeId(15)));
+        assert_eq!(NodeId(15).depth(), 3);
+        assert!(NodeId(15).is_right_child());
+        assert!(!NodeId(14).is_right_child());
+        assert_eq!(cal.log_slots(), 3);
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_uses_floor_splits() {
+        let cal: Calibrator<u64> = Calibrator::new(5, 1, 100);
+        // [0,4] → [0,2] + [3,4]; [0,2] → [0,1] + [2,2].
+        assert_eq!(cal.range(NodeId(2)), (0, 2));
+        assert_eq!(cal.range(NodeId(3)), (3, 4));
+        assert_eq!(cal.range(NodeId(5)), (2, 2));
+        assert!(cal.is_leaf(NodeId(5)));
+        // Every slot has a leaf and the leaf covers it.
+        for s in 0..5 {
+            let l = cal.leaf_of(s);
+            assert!(cal.is_leaf(l));
+            assert_eq!(cal.range(l), (s, s));
+        }
+    }
+
+    #[test]
+    fn thresholds_match_example_5_2_values() {
+        // With M=8, d=9, D=18, L=3: for a leaf (depth 3):
+        //   g(leaf,0)=15, g(leaf,1/3)=16, g(leaf,2/3)=17, g(leaf,1)=18.
+        let cal = example_cal();
+        let leaf = cal.leaf_of(0);
+        for (q, want) in [(0u8, 15.0), (1, 16.0), (2, 17.0), (3, 18.0)] {
+            assert!(
+                (cal.g_display(leaf, q) - want).abs() < 1e-12,
+                "g(leaf,{q}/3)"
+            );
+        }
+        // v3 (depth 1, pages 5-8): g(v3,0)=9, 1/3→10, 2/3→11, 1→12.
+        let v3 = NodeId(3);
+        for (q, want) in [(0u8, 9.0), (1, 10.0), (2, 11.0), (3, 12.0)] {
+            assert!((cal.g_display(v3, q) - want).abs() < 1e-12, "g(v3,{q}/3)");
+        }
+        // v4 (depth 2, pages 1-2): g(v4,0)=12, g(v4,1)=15.
+        let v4 = NodeId(4);
+        assert!((cal.g_display(v4, 0) - 12.0).abs() < 1e-12);
+        assert!((cal.g_display(v4, 3) - 15.0).abs() < 1e-12);
+        // Root: g(root,1) = d = 9.
+        assert!((cal.g_display(NodeId::ROOT, 3) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_cmp_agrees_with_example_boundary_cases() {
+        let mut cal = example_cal();
+        load_t0(&mut cal);
+        // After inserting into page 8 (slot 7): p(L8)=17 ≥ g(2/3)=17.
+        cal.add_count(7, 1);
+        let l8 = cal.leaf_of(7);
+        assert!(cal.p_ge(l8, 2));
+        assert!(!cal.p_gt(l8, 2)); // exactly at the threshold
+        assert!(cal.p_le(l8, 3)); // within BALANCE
+                                  // p(v3) = 44/4 = 11 ≥ g(v3,2/3) = 11.
+        assert!(cal.p_ge(NodeId(3), 2));
+        // p(v7) = 26/2 = 13 < g(v7,2/3) = 14.
+        assert!(!cal.p_ge(NodeId(7), 2));
+    }
+
+    #[test]
+    fn records_until_ge_matches_example_shift_quantities() {
+        let mut cal = example_cal();
+        load_t0(&mut cal);
+        cal.add_count(7, 1); // the Z1 insertion
+                             // SHIFT(L8) stops after 6 records: L7 has 9, g(L7,0)=15 → 6 more.
+        assert_eq!(cal.records_until_ge(cal.leaf_of(6), 0), 6);
+        // L1 has 16 ≥ g(L1,0)=15 already → 0.
+        assert_eq!(cal.records_until_ge(cal.leaf_of(0), 0), 0);
+        // L2 has 1 → 14 to reach 15.
+        assert_eq!(cal.records_until_ge(cal.leaf_of(1), 0), 14);
+        // v4 has 17 → 7 to reach 24 (= 12·2).
+        assert_eq!(cal.records_until_ge(NodeId(4), 0), 7);
+    }
+
+    #[test]
+    fn counters_and_total_track_deltas() {
+        let mut cal = example_cal();
+        load_t0(&mut cal);
+        assert_eq!(cal.total(), 61);
+        assert_eq!(cal.count(NodeId(3)), 43); // pages 5..8: 9+9+9+16
+        cal.add_count(4, 3);
+        assert_eq!(cal.count(NodeId(3)), 46);
+        assert_eq!(cal.total(), 64);
+        cal.add_count(4, -3);
+        assert_eq!(cal.total(), 61);
+    }
+
+    #[test]
+    fn find_slot_follows_min_keys() {
+        let mut cal: Calibrator<u64> = Calibrator::new(8, 1, 100);
+        // Records: slot 1 → keys {100,200}, slot 5 → keys {500}.
+        cal.set_leaf_raw(1, 2, Some(100));
+        cal.set_leaf_raw(5, 1, Some(500));
+        cal.recompute_subtree(NodeId::ROOT);
+        assert_eq!(cal.find_slot(&150), 1); // predecessor 100 lives in slot 1
+        assert_eq!(cal.find_slot(&100), 1); // exact key
+        assert_eq!(cal.find_slot(&500), 5);
+        assert_eq!(cal.find_slot(&9999), 5); // greatest record ≤ key in slot 5
+        assert_eq!(cal.find_slot(&50), 0); // below every key → leftmost descent
+    }
+
+    #[test]
+    fn find_slot_on_empty_tree_returns_zero() {
+        let cal: Calibrator<u64> = Calibrator::new(8, 1, 2);
+        assert_eq!(cal.find_slot(&42), 0);
+    }
+
+    #[test]
+    fn refresh_min_propagates_and_short_circuits() {
+        let mut cal: Calibrator<u64> = Calibrator::new(8, 1, 100);
+        cal.set_leaf_raw(3, 1, Some(300));
+        cal.recompute_subtree(NodeId::ROOT);
+        assert_eq!(cal.min_key(NodeId::ROOT), Some(300));
+        cal.add_count(6, 1);
+        cal.refresh_min(6, Some(600));
+        assert_eq!(cal.min_key(NodeId(3)), Some(600));
+        assert_eq!(cal.min_key(NodeId::ROOT), Some(300));
+        cal.add_count(3, -1);
+        cal.refresh_min(3, None);
+        assert_eq!(cal.min_key(NodeId::ROOT), Some(600));
+    }
+
+    #[test]
+    fn nonempty_scans_use_counters() {
+        let mut cal: Calibrator<u64> = Calibrator::new(8, 1, 100);
+        for s in [1u32, 4, 6] {
+            cal.set_leaf_raw(s, 2, Some(u64::from(s)));
+        }
+        cal.recompute_subtree(NodeId::ROOT);
+        assert_eq!(cal.next_nonempty(0, 7), Some(1));
+        assert_eq!(cal.next_nonempty(2, 7), Some(4));
+        assert_eq!(cal.next_nonempty(5, 7), Some(6));
+        assert_eq!(cal.next_nonempty(7, 7), None);
+        assert_eq!(cal.prev_nonempty(0, 7), Some(6));
+        assert_eq!(cal.prev_nonempty(0, 5), Some(4));
+        assert_eq!(cal.prev_nonempty(0, 0), None);
+        assert_eq!(cal.prev_nonempty(2, 3), None);
+    }
+
+    #[test]
+    fn warning_aggregates_support_select() {
+        let mut cal = example_cal();
+        load_t0(&mut cal);
+        // Raise L8 and v3 as after Z1's step 3.
+        cal.set_warning(cal.leaf_of(7), true);
+        cal.set_warning(NodeId(3), true);
+        assert_eq!(cal.warned_total(), 2);
+        // SELECT from L8: deepest warned under the lowest qualifying ancestor is L8 itself.
+        assert_eq!(cal.select(7), Some(cal.leaf_of(7)));
+        // Lower L8: now only v3 is warned; SELECT from slot 7 climbs to the root.
+        cal.set_warning(cal.leaf_of(7), false);
+        assert_eq!(cal.select(7), Some(NodeId(3)));
+        // SELECT from slot 0 also finds v3 (root is the qualifying ancestor).
+        assert_eq!(cal.select(0), Some(NodeId(3)));
+        cal.set_warning(NodeId(3), false);
+        assert_eq!(cal.select(7), None);
+        assert_eq!(cal.warned_total(), 0);
+    }
+
+    #[test]
+    fn select_prefers_deepest_then_leftmost() {
+        let mut cal = example_cal();
+        cal.set_warning(NodeId(3), true); // depth 1
+        cal.set_warning(NodeId(9), true); // depth 3 (leaf of slot 1)
+        cal.set_warning(NodeId(10), true); // depth 3 (leaf of slot 2)
+                                           // From slot 7: α = root, deepest warned = depth 3, leftmost = NodeId(9).
+        assert_eq!(cal.select(7), Some(NodeId(9)));
+    }
+
+    #[test]
+    fn up_path_is_dest_side_only() {
+        let cal = example_cal();
+        // dest slot 1, source slot 4 (the t7→t8 shift): LCA is the root;
+        // UP = {L2, v4, v2} = heap {9, 4, 2}.
+        let up = cal.up_path(1, 4);
+        assert_eq!(up, vec![NodeId(9), NodeId(4), NodeId(2)]);
+        // dest 6, source 7: UP = {L7} = {14}.
+        assert_eq!(cal.up_path(6, 7), vec![NodeId(14)]);
+    }
+
+    #[test]
+    fn single_slot_tree_is_just_a_root() {
+        let cal: Calibrator<u64> = Calibrator::new(1, 2, 4);
+        assert!(cal.is_leaf(NodeId::ROOT));
+        assert_eq!(cal.leaf_of(0), NodeId::ROOT);
+        assert_eq!(cal.select(0), None);
+        assert_eq!(cal.log_slots(), 1); // clamped for threshold arithmetic
+    }
+
+    #[test]
+    fn recompute_subtree_propagates_to_ancestors() {
+        let mut cal: Calibrator<u64> = Calibrator::new(8, 1, 100);
+        cal.set_leaf_raw(4, 5, Some(40));
+        cal.set_leaf_raw(5, 2, Some(50));
+        cal.recompute_subtree(NodeId(6)); // subtree over slots {4,5}
+        assert_eq!(cal.count(NodeId(6)), 7);
+        assert_eq!(cal.count(NodeId(3)), 7);
+        assert_eq!(cal.count(NodeId::ROOT), 7);
+        assert_eq!(cal.total(), 7);
+        assert_eq!(cal.min_key(NodeId::ROOT), Some(40));
+    }
+}

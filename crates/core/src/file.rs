@@ -1,0 +1,479 @@
+//! The public `DenseFile` type.
+//!
+//! A `(d,D)`-dense sequential file: a dynamic ordered set of records stored
+//! across `M` consecutive pages such that
+//!
+//! 1. the file holds at most `N = d·M` records,
+//! 2. no page holds more than `D` records,
+//! 3. records appear in ascending key order across page addresses.
+//!
+//! Insertions and deletions are maintained by the paper's CONTROL 1
+//! (amortized) or CONTROL 2 (worst-case `O(log²M/(D−d))` page accesses)
+//! algorithm, selected by [`DenseFileConfig`].
+
+use dsf_pagestore::{IoStats, Key, PagedStore, Record, StoreConfig, TraceBuffer};
+
+use crate::calibrator::{Calibrator, NodeId};
+use crate::config::{Algorithm, DenseFileConfig, ResolvedConfig};
+use crate::error::{BulkLoadError, DsfError};
+use crate::scan::Scan;
+use crate::stats::OpStats;
+use crate::trace::{CommandKind, Moment, StepEvent, StepRecorder};
+
+/// A `(d,D)`-dense sequential file (Willard, SIGMOD 1986).
+///
+/// ```
+/// use dsf_core::{DenseFile, DenseFileConfig};
+///
+/// let mut file: DenseFile<u64, &str> =
+///     DenseFile::new(DenseFileConfig::control2(64, 8, 40)).unwrap();
+/// file.insert(10, "ten").unwrap();
+/// file.insert(20, "twenty").unwrap();
+/// assert_eq!(file.get(&10), Some(&"ten"));
+/// assert_eq!(file.remove(&10), Some("ten"));
+/// assert_eq!(file.len(), 1);
+/// file.check_invariants().unwrap();
+/// ```
+pub struct DenseFile<K, V> {
+    pub(crate) cfg: ResolvedConfig,
+    pub(crate) store: PagedStore<K, V>,
+    pub(crate) cal: Calibrator<K>,
+    pub(crate) stats: OpStats,
+    pub(crate) recorder: Option<StepRecorder>,
+}
+
+impl<K: Key, V> DenseFile<K, V> {
+    /// Creates an empty file from a configuration.
+    pub fn new(config: DenseFileConfig) -> Result<Self, DsfError> {
+        let cfg = config.resolve()?;
+        let store = PagedStore::new(StoreConfig {
+            slots: cfg.slots,
+            pages_per_slot: cfg.k,
+            page_capacity: cfg.page_capacity,
+        })
+        .expect("resolved config is non-degenerate");
+        let cal = Calibrator::new(cfg.slots, cfg.slot_min, cfg.slot_max);
+        Ok(DenseFile {
+            cfg,
+            store,
+            cal,
+            stats: OpStats::default(),
+            recorder: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &ResolvedConfig {
+        &self.cfg
+    }
+
+    /// Records currently stored.
+    pub fn len(&self) -> u64 {
+        self.cal.total()
+    }
+
+    /// Whether the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.cal.total() == 0
+    }
+
+    /// Maximum records the file may hold (`N = d·M`).
+    pub fn capacity(&self) -> u64 {
+        self.cfg.capacity()
+    }
+
+    /// Page-access counters of the underlying store.
+    pub fn io_stats(&self) -> &IoStats {
+        self.store.stats()
+    }
+
+    /// The optional physical-access trace (for the disk model).
+    pub fn io_trace(&self) -> &TraceBuffer {
+        self.store.trace()
+    }
+
+    /// Per-command maintenance statistics.
+    pub fn op_stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// The calibrator tree (read-only; used by figures and experiments).
+    pub fn calibrator(&self) -> &Calibrator<K> {
+        &self.cal
+    }
+
+    /// The underlying store (read-only; used by experiments).
+    pub fn store(&self) -> &PagedStore<K, V> {
+        &self.store
+    }
+
+    /// Record count of every slot in address order (free metadata — the
+    /// rows of the paper's Figure 4).
+    pub fn slot_counts(&self) -> Vec<u64> {
+        (0..self.cfg.slots)
+            .map(|s| self.store.len(s) as u64)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Step tracing.
+    // ------------------------------------------------------------------
+
+    /// Starts recording [`StepEvent`]s for subsequent commands.
+    pub fn enable_step_trace(&mut self) {
+        if self.recorder.is_none() {
+            self.recorder = Some(StepRecorder::new());
+        }
+    }
+
+    /// Stops recording and returns everything recorded.
+    pub fn take_step_trace(&mut self) -> Vec<StepEvent> {
+        self.recorder
+            .take()
+            .map(|mut r| r.take())
+            .unwrap_or_default()
+    }
+
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: impl FnOnce() -> StepEvent) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.push(ev());
+        }
+    }
+
+    pub(crate) fn emit_flag_stable(&mut self, moment: Moment) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let counts = self.slot_counts();
+        if let Some(r) = self.recorder.as_mut() {
+            r.push(StepEvent::FlagStable {
+                moment,
+                slot_counts: counts,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries.
+    // ------------------------------------------------------------------
+
+    /// Looks up a key. Charges the page accesses of one calibrator-guided
+    /// probe ("typically two or three", per the paper's step 1).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        if self.is_empty() {
+            return None;
+        }
+        let slot = self.cal.find_slot(key);
+        self.store.get(slot, key)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Streams every record in key order (see [`Scan`]).
+    pub fn iter(&self) -> Scan<'_, K, V> {
+        Scan::all(self)
+    }
+
+    /// Streams the records with keys in `range`, in key order.
+    ///
+    /// This is the paper's *stream retrieval*: the scan walks physically
+    /// consecutive pages, so under the disk model it pays one seek plus one
+    /// transfer per page rather than one seek per record.
+    pub fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> Scan<'_, K, V> {
+        Scan::bounded(
+            self,
+            range.start_bound().cloned(),
+            range.end_bound().cloned(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Commands.
+    // ------------------------------------------------------------------
+
+    /// Inserts a record, returning the previous value if the key existed.
+    ///
+    /// A brand-new key is a *command* in the paper's sense: step 1 places
+    /// the record and updates the rank counters, and the configured
+    /// maintenance algorithm re-establishes BALANCE(d,D). Replacing the
+    /// value of an existing key touches only the record's page.
+    ///
+    /// # Errors
+    ///
+    /// [`DsfError::CapacityExceeded`] if the file already holds
+    /// `N = d·M` records and `key` is not present.
+    pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>, DsfError> {
+        let snap = self.store.stats().snapshot();
+        let slot = if self.is_empty() {
+            self.cfg.slots / 2
+        } else {
+            self.cal.find_slot(&key)
+        };
+        match self.store.search(slot, &key) {
+            Ok(idx) => Ok(Some(self.store.replace_at(slot, idx, value))),
+            Err(idx) => {
+                if self.cal.total() >= self.capacity() {
+                    return Err(DsfError::CapacityExceeded {
+                        capacity: self.capacity(),
+                    });
+                }
+                self.emit(|| StepEvent::CommandBegin {
+                    kind: CommandKind::Insert,
+                    slot,
+                });
+                self.store.insert_searched(slot, idx, key, value);
+                self.cal.add_count(slot, 1);
+                self.cal.refresh_min(slot, self.store.min_key(slot));
+                self.after_update(slot);
+                let accesses = self.store.stats().since(snap).accesses();
+                self.stats.record_command(accesses);
+                self.emit(|| StepEvent::CommandEnd { accesses });
+                Ok(None)
+            }
+        }
+    }
+
+    /// Deletes a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        if self.is_empty() {
+            return None;
+        }
+        let snap = self.store.stats().snapshot();
+        let slot = self.cal.find_slot(key);
+        let old = self.store.remove(slot, key)?;
+        self.emit(|| StepEvent::CommandBegin {
+            kind: CommandKind::Delete,
+            slot,
+        });
+        self.cal.add_count(slot, -1);
+        self.cal.refresh_min(slot, self.store.min_key(slot));
+        self.after_update(slot);
+        let accesses = self.store.stats().since(snap).accesses();
+        self.stats.record_command(accesses);
+        self.emit(|| StepEvent::CommandEnd { accesses });
+        Some(old)
+    }
+
+    fn after_update(&mut self, slot: u32) {
+        match self.cfg.algorithm {
+            Algorithm::Control1 => self.control1_after_update(slot),
+            Algorithm::Control2 => self.control2_after_update(slot),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading.
+    // ------------------------------------------------------------------
+
+    /// Loads strictly-ascending records into an empty file, spread with
+    /// uniform density over the address space — the initial condition of
+    /// Theorem 5.5.
+    pub fn bulk_load<I>(&mut self, items: I) -> Result<(), DsfError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        if !self.is_empty() {
+            return Err(BulkLoadError::NotEmpty.into());
+        }
+        let mut recs: Vec<Record<K, V>> = Vec::new();
+        for (i, (k, v)) in items.into_iter().enumerate() {
+            if let Some(prev) = recs.last() {
+                if prev.key >= k {
+                    return Err(BulkLoadError::NotSorted { index: i }.into());
+                }
+            }
+            recs.push(Record::new(k, v));
+        }
+        let n = recs.len() as u64;
+        if n > self.capacity() {
+            return Err(BulkLoadError::TooMany {
+                records: n,
+                capacity: self.capacity(),
+            }
+            .into());
+        }
+        // Even spread: slot i receives records [n·i/M, n·(i+1)/M).
+        self.respread(recs, 0, self.cfg.slots);
+        self.cal.recompute_subtree(NodeId::ROOT);
+        self.post_load_activation_scan();
+        Ok(())
+    }
+
+    /// Loads an explicit per-slot layout into an empty file (tests, figures
+    /// and experiments; Example 5.2 starts from a non-uniform layout).
+    ///
+    /// The layout must be globally sorted with unique keys, respect the
+    /// per-slot density bound `D#`, and satisfy BALANCE(d,D) — Theorem 5.5's
+    /// precondition on the initial state.
+    pub fn bulk_load_per_slot(&mut self, layout: Vec<Vec<(K, V)>>) -> Result<(), DsfError> {
+        if !self.is_empty() {
+            return Err(BulkLoadError::NotEmpty.into());
+        }
+        if layout.len() != self.cfg.slots as usize {
+            return Err(BulkLoadError::LayoutWidth {
+                got: layout.len(),
+                expected: self.cfg.slots,
+            }
+            .into());
+        }
+        // Validate global order and per-slot bounds before mutating.
+        let mut prev: Option<K> = None;
+        let mut index = 0usize;
+        let mut total = 0u64;
+        for (s, slot_recs) in layout.iter().enumerate() {
+            if slot_recs.len() as u64 > self.cfg.slot_max {
+                return Err(BulkLoadError::SlotOverflow {
+                    slot: s as u32,
+                    len: slot_recs.len(),
+                    max: self.cfg.slot_max,
+                }
+                .into());
+            }
+            for (k, _) in slot_recs {
+                if let Some(p) = prev {
+                    if p >= *k {
+                        return Err(BulkLoadError::NotSorted { index }.into());
+                    }
+                }
+                prev = Some(*k);
+                index += 1;
+                total += 1;
+            }
+        }
+        if total > self.capacity() {
+            return Err(BulkLoadError::TooMany {
+                records: total,
+                capacity: self.capacity(),
+            }
+            .into());
+        }
+        // Enforce Theorem 5.5's BALANCE precondition before touching the
+        // store, using the calibrator alone (counts suffice); on rejection
+        // the calibrator is reset and the file stays untouched.
+        for (s, slot_recs) in layout.iter().enumerate() {
+            let min = slot_recs.first().map(|(k, _)| *k);
+            self.cal.set_leaf_raw(s as u32, slot_recs.len() as u64, min);
+        }
+        self.cal.recompute_subtree(NodeId::ROOT);
+        if let Some(bad) = self
+            .cal
+            .all_nodes()
+            .into_iter()
+            .find(|&n| self.cal.p_gt(n, 3))
+        {
+            for s in 0..self.cfg.slots {
+                self.cal.set_leaf_raw(s, 0, None);
+            }
+            self.cal.recompute_subtree(NodeId::ROOT);
+            return Err(BulkLoadError::Unbalanced { node: bad.0 }.into());
+        }
+        for (s, slot_recs) in layout.into_iter().enumerate() {
+            let recs: Vec<Record<K, V>> = slot_recs
+                .into_iter()
+                .map(|(k, v)| Record::new(k, v))
+                .collect();
+            self.store.replace(s as u32, recs);
+        }
+        self.post_load_activation_scan();
+        Ok(())
+    }
+
+    /// Writes `records` evenly across the `width` slots starting at `lo`
+    /// (slot `lo+i` receives records `[n·i/width, n·(i+1)/width)`) and
+    /// refreshes the touched leaves. The shared kernel of every offline
+    /// redistribution: bulk load, CONTROL 1's step B, vacuum, merge, retain.
+    /// Counters above the leaves are the caller's to recompute.
+    pub(crate) fn respread(&mut self, records: Vec<Record<K, V>>, lo: u32, width: u32) {
+        let n = records.len() as u64;
+        let w = u64::from(width);
+        let mut rest = records;
+        for i in (0..width).rev() {
+            let start = (n * u64::from(i) / w) as usize;
+            let chunk = rest.split_off(start);
+            let slot = lo + i;
+            self.store.replace(slot, chunk);
+            self.cal
+                .set_leaf_raw(slot, self.store.len(slot) as u64, self.store.min_key(slot));
+        }
+    }
+
+    /// Clears every warning flag and re-derives a legal flag state — the
+    /// epilogue of whole-file offline passes, whose even spread invalidates
+    /// any in-flight evolution.
+    pub(crate) fn reset_flags_after_offline_pass(&mut self) {
+        for n in self.cal.all_nodes() {
+            self.cal.set_warning(n, false);
+        }
+        self.post_load_activation_scan();
+    }
+
+    /// After a bulk load, raise warnings wherever Fact 5.1(b) demands it so
+    /// the flag state is legal for the first command (shallowest first, as
+    /// in step 3).
+    pub(crate) fn post_load_activation_scan(&mut self) {
+        if self.cfg.algorithm != Algorithm::Control2 {
+            return;
+        }
+        let mut nodes = self.cal.all_nodes();
+        nodes.sort_by_key(|n| n.depth());
+        for n in nodes {
+            if n != NodeId::ROOT && !self.cal.is_warned(n) && self.cal.p_ge(n, 2) {
+                self.activate(n);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuilding (extension: the paper fixes M; real deployments grow).
+    // ------------------------------------------------------------------
+
+    /// Drains this file into a new one with a different configuration,
+    /// spreading the records uniformly — the standard answer to capacity
+    /// exhaustion (`DsfError::CapacityExceeded`).
+    ///
+    /// Charges a full sequential read of the old file plus a full
+    /// sequential write of the new one (`O(M)` page accesses — rebuilds are
+    /// outside the per-command worst-case guarantee, exactly as in the
+    /// paper, which fixes `M` up front).
+    pub fn rebuild_into(mut self, config: DenseFileConfig) -> Result<DenseFile<K, V>, DsfError> {
+        // Validate the destination before draining anything: a failed
+        // rebuild must not cost the caller their data.
+        let resolved = config.resolve()?;
+        if resolved.capacity() < self.len() {
+            return Err(DsfError::BulkLoad(crate::error::BulkLoadError::TooMany {
+                records: self.len(),
+                capacity: resolved.capacity(),
+            }));
+        }
+        let mut all: Vec<(K, V)> = Vec::with_capacity(self.len() as usize);
+        for s in 0..self.cfg.slots {
+            for rec in self.store.take_all(s) {
+                let (k, v) = rec.into_parts();
+                all.push((k, v));
+            }
+        }
+        let mut new = DenseFile::new(config)?;
+        new.bulk_load(all)?;
+        Ok(new)
+    }
+}
+
+impl<K: Key, V: std::fmt::Debug> std::fmt::Debug for DenseFile<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseFile")
+            .field("slots", &self.cfg.slots)
+            .field("k", &self.cfg.k)
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("algorithm", &self.cfg.algorithm)
+            .finish_non_exhaustive()
+    }
+}

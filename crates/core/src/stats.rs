@@ -1,0 +1,207 @@
+//! Per-command maintenance statistics.
+//!
+//! [`dsf_pagestore::IoStats`] counts raw page accesses; this module
+//! attributes them to insert/delete commands and tracks how the maintenance
+//! machinery behaved — the quantities the paper's worst-case theorem is
+//! about (`max_accesses` per command) plus diagnostic counters for every
+//! interesting event inside CONTROL 1 and CONTROL 2.
+
+/// Histogram of per-command page accesses in power-of-two buckets.
+///
+/// Bucket `i` counts commands whose access total `a` satisfies
+/// `2^(i-1) < a ≤ 2^i` (bucket 0 counts zero-access commands).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessHistogram {
+    buckets: [u64; 33],
+}
+
+impl Default for AccessHistogram {
+    fn default() -> Self {
+        AccessHistogram { buckets: [0; 33] }
+    }
+}
+
+impl AccessHistogram {
+    /// Records one command with `accesses` page accesses.
+    pub fn record(&mut self, accesses: u64) {
+        let b = if accesses == 0 {
+            0
+        } else {
+            64 - (accesses - 1).leading_zeros().min(63)
+        } as usize;
+        self.buckets[b.min(32)] += 1;
+    }
+
+    /// `(upper_bound, count)` for every non-empty bucket.
+    pub fn non_empty(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i.min(63) }, c))
+            .collect()
+    }
+
+    /// Total commands recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Counters describing the life of a dense sequential file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Structural commands executed (inserts that added a record, deletes
+    /// that removed one). Pure lookups and value replacements are excluded.
+    pub commands: u64,
+    /// Page accesses attributed to those commands.
+    pub total_accesses: u64,
+    /// The worst single command — the paper's headline quantity.
+    pub max_accesses: u64,
+    /// Accesses of the most recent command.
+    pub last_accesses: u64,
+    /// Distribution of per-command accesses.
+    pub histogram: AccessHistogram,
+
+    /// CONTROL 2: SHIFT invocations.
+    pub shifts: u64,
+    /// CONTROL 2: SHIFTs that moved no records because an `UP(v)` node was
+    /// already at its `g(·,0)` threshold (they still advance `DEST`).
+    pub empty_shifts: u64,
+    /// CONTROL 2: SHIFTs that found no non-empty source page (a defensive
+    /// no-op; stays zero for in-contract parameters — see DESIGN.md §3.6).
+    pub no_source_shifts: u64,
+    /// CONTROL 2: step-4 iterations skipped because no node was warned.
+    pub idle_steps: u64,
+    /// CONTROL 2: ACTIVATE calls.
+    pub activations: u64,
+    /// CONTROL 2: roll-back rule applications inside ACTIVATE.
+    pub rollbacks: u64,
+    /// CONTROL 2: warning flags lowered (steps 2 and 4c).
+    pub flags_lowered: u64,
+    /// CONTROL 2: records moved by SHIFT, total.
+    pub records_shifted: u64,
+
+    /// CONTROL 1: one-shot redistributions performed.
+    pub redistributions: u64,
+    /// CONTROL 1: total slots rewritten by redistributions.
+    pub redistributed_slots: u64,
+}
+
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "commands: {} (mean {:.2} / p-last {} / worst {} page accesses)",
+            self.commands,
+            self.mean_accesses(),
+            self.last_accesses,
+            self.max_accesses
+        )?;
+        writeln!(
+            f,
+            "shifts: {} ({} empty, {} no-source, {} idle steps), {} records moved",
+            self.shifts,
+            self.empty_shifts,
+            self.no_source_shifts,
+            self.idle_steps,
+            self.records_shifted
+        )?;
+        writeln!(
+            f,
+            "flags: {} activations, {} lowered, {} roll-backs",
+            self.activations, self.flags_lowered, self.rollbacks
+        )?;
+        if self.redistributions > 0 {
+            writeln!(
+                f,
+                "redistributions: {} over {} slots",
+                self.redistributions, self.redistributed_slots
+            )?;
+        }
+        write!(f, "access histogram (≤bound: count):")?;
+        for (bound, count) in self.histogram.non_empty() {
+            write!(f, " {bound}:{count}")?;
+        }
+        Ok(())
+    }
+}
+
+impl OpStats {
+    /// Records the completion of one structural command.
+    pub fn record_command(&mut self, accesses: u64) {
+        self.commands += 1;
+        self.total_accesses += accesses;
+        self.last_accesses = accesses;
+        self.max_accesses = self.max_accesses.max(accesses);
+        self.histogram.record(accesses);
+    }
+
+    /// Mean page accesses per command (0 when no commands ran).
+    pub fn mean_accesses(&self) -> f64 {
+        if self.commands == 0 {
+            0.0
+        } else {
+            self.total_accesses as f64 / self.commands as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_command_tracks_extremes_and_mean() {
+        let mut s = OpStats::default();
+        s.record_command(4);
+        s.record_command(10);
+        s.record_command(1);
+        assert_eq!(s.commands, 3);
+        assert_eq!(s.total_accesses, 15);
+        assert_eq!(s.max_accesses, 10);
+        assert_eq!(s.last_accesses, 1);
+        assert!((s.mean_accesses() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_no_commands_is_zero() {
+        assert_eq!(OpStats::default().mean_accesses(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes_all_sections() {
+        let mut s = OpStats::default();
+        s.record_command(3);
+        s.record_command(90);
+        s.shifts = 7;
+        s.activations = 2;
+        s.redistributions = 1;
+        s.redistributed_slots = 64;
+        let text = s.to_string();
+        assert!(text.contains("commands: 2"));
+        assert!(text.contains("worst 90"));
+        assert!(text.contains("shifts: 7"));
+        assert!(text.contains("redistributions: 1 over 64"));
+        assert!(text.contains("histogram"));
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = AccessHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        h.record(1000);
+        // 0 → bucket 0; 1,2 → (0,2]; 3,4 → (2,4]; 1000 → (512,1024].
+        assert_eq!(h.total(), 6);
+        let map: std::collections::HashMap<u64, u64> = h.non_empty().into_iter().collect();
+        assert_eq!(map[&0], 1);
+        assert_eq!(map[&2], 2);
+        assert_eq!(map[&4], 2);
+        assert_eq!(map[&1024], 1);
+        assert_eq!(map.len(), 4);
+    }
+}

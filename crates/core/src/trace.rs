@@ -1,0 +1,145 @@
+//! Step-level tracing of the maintenance algorithms.
+//!
+//! The paper's §5 analysis is phrased in terms of *measurable moments* —
+//! instants between the numbered steps of CONTROL 2 — and its Figure 4
+//! tabulates the per-page record counts at the *flag-stable* moments
+//! `t₀…t₈` of Example 5.2. This module records exactly those moments so the
+//! `fig4_example` harness (and the golden test behind it) can reproduce the
+//! figure cell for cell.
+//!
+//! Tracing is opt-in ([`crate::DenseFile::enable_step_trace`]); when off it
+//! costs one branch per potential event.
+
+use crate::calibrator::NodeId;
+
+/// Which user command a trace span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// An insertion.
+    Insert,
+    /// A deletion.
+    Delete,
+}
+
+/// The flag-stable moment classes of §5 that carry a state snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Moment {
+    /// Immediately after step 3 (activation) — e.g. `t₁`, `t₅`.
+    AfterStep3,
+    /// Immediately after a step-4c flag sweep — e.g. `t₂…t₄`, `t₆…t₈`.
+    AfterStep4c,
+}
+
+/// One event inside a traced command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Step 1 located the target page and applied the user's command.
+    CommandBegin {
+        /// Insert or delete.
+        kind: CommandKind,
+        /// The slot (logical page) the record went to / came from.
+        slot: u32,
+    },
+    /// Step 2 or 4c lowered a warning flag (`p(x) ≤ g(x,⅓)`).
+    WarningLowered {
+        /// The node whose flag dropped.
+        node: NodeId,
+    },
+    /// Step 3 raised a node into a warning state via ACTIVATE.
+    Activated {
+        /// The newly-warned node.
+        node: NodeId,
+        /// Its initial `DEST` pointer.
+        dest: u32,
+    },
+    /// ACTIVATE's roll-back rule moved another warned node's `DEST`.
+    RolledBack {
+        /// The node whose pointer was rolled back.
+        node: NodeId,
+        /// The pointer's new value.
+        new_dest: u32,
+    },
+    /// Step 4a: SELECT chose this node for the next SHIFT.
+    Selected {
+        /// The chosen warned node.
+        node: NodeId,
+    },
+    /// Step 4b: SHIFT ran.
+    Shifted {
+        /// The warned node being relieved.
+        node: NodeId,
+        /// `SOURCE(v)` for this invocation.
+        source: u32,
+        /// `DEST(v)` at the time records moved.
+        dest: u32,
+        /// Records moved (0 when an `UP(v)` node was already saturated).
+        moved: u64,
+        /// `DEST(v)` after step 3 of SHIFT, if it advanced.
+        new_dest: Option<u32>,
+    },
+    /// Step 4b found no non-empty source page (defensive no-op).
+    ShiftNoSource {
+        /// The node whose shift had nothing to pull.
+        node: NodeId,
+    },
+    /// Step 4 had no warned node to SELECT; remaining iterations skipped.
+    ShiftIdle,
+    /// A flag-stable moment, with the per-slot record counts (the rows of
+    /// the paper's Figure 4).
+    FlagStable {
+        /// Which stable moment class.
+        moment: Moment,
+        /// Record count of every slot, in address order.
+        slot_counts: Vec<u64>,
+    },
+    /// The command finished.
+    CommandEnd {
+        /// Page accesses the command cost.
+        accesses: u64,
+    },
+}
+
+/// Accumulates [`StepEvent`]s while tracing is enabled.
+#[derive(Debug, Default)]
+pub struct StepRecorder {
+    events: Vec<StepEvent>,
+}
+
+impl StepRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: StepEvent) {
+        self.events.push(ev);
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&mut self) -> Vec<StepEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[StepEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates_and_drains() {
+        let mut r = StepRecorder::new();
+        r.push(StepEvent::ShiftIdle);
+        r.push(StepEvent::CommandEnd { accesses: 2 });
+        assert_eq!(r.events().len(), 2);
+        let evs = r.take();
+        assert_eq!(evs.len(), 2);
+        assert!(r.events().is_empty());
+        assert!(matches!(evs[0], StepEvent::ShiftIdle));
+    }
+}

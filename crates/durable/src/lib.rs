@@ -1,0 +1,37 @@
+//! # dsf-durable — crash-safe dense sequential files
+//!
+//! The paper's model is a file in "auxiliary memory" that survives the
+//! process; this crate supplies the standard machinery that makes the
+//! in-memory implementation behave that way:
+//!
+//! * a **checkpoint** — the checksummed snapshot format of
+//!   `dsf_core::snapshot`, written atomically (temp file + rename);
+//! * a **write-ahead log** — every structural command (insert of a new
+//!   key, value replacement, delete) is appended as a length-framed,
+//!   CRC-guarded record *before* being applied in memory;
+//! * **recovery** — opening a directory loads the latest checkpoint and
+//!   replays the log's valid prefix; a torn tail (the bytes a crash cut
+//!   short) is detected by framing/checksum and discarded, exactly like
+//!   any ARIES-family redo log;
+//! * **epochs** — the log's header names the checkpoint generation it
+//!   belongs to, so a crash *between* "new checkpoint renamed" and "log
+//!   reset" can never replay stale commands onto the new state: recovery
+//!   sees the epoch mismatch and discards the old log. Checkpoint renames
+//!   are made durable with a parent-directory fsync.
+//!
+//! Group-commit policy is the caller's choice: [`SyncPolicy::EveryCommand`]
+//! fsyncs per command, [`SyncPolicy::Manual`] leaves syncing to explicit
+//! [`DurableFile::sync`] calls (and the OS).
+//!
+//! The crash-injection tests in this crate truncate the log at every byte
+//! boundary of its tail and assert that recovery always yields a consistent
+//! prefix of the command history with all paper invariants intact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod physical;
+mod wal;
+
+pub use physical::{ImageHeader, IoReport, PhysicalImage};
+pub use wal::{DurableError, DurableFile, SyncPolicy};

@@ -1,0 +1,186 @@
+//! LRU buffer-pool simulation.
+//!
+//! The paper remarks that its asymptote "definitely over-estimates
+//! CONTROL 2's real cost because CONTROL 2, unlike a B-tree procedure, can
+//! be programmed to access consecutive pages in one fell swoop during its
+//! update task" — i.e. the J SHIFTs of one command touch a handful of
+//! nearby pages over and over, so a tiny buffer pool absorbs most of them.
+//! This module replays an [`AccessEvent`] trace through an LRU cache of a
+//! given page capacity and reports hits/misses; the `exp_fell_swoop`
+//! experiment uses it to quantify the remark.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::trace::AccessEvent;
+
+/// Result of replaying a trace through [`LruCacheSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Page accesses replayed.
+    pub accesses: u64,
+    /// Accesses served from the pool.
+    pub hits: u64,
+    /// Accesses that had to touch the disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of accesses served from the pool.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A least-recently-used buffer pool of fixed page capacity.
+///
+/// ```
+/// use dsf_pagestore::{AccessEvent, AccessKind, LruCacheSim};
+/// let trace: Vec<AccessEvent> = [1u64, 2, 1, 2, 3, 1]
+///     .iter()
+///     .map(|&page| AccessEvent { page, kind: AccessKind::Read })
+///     .collect();
+/// let stats = LruCacheSim::new(2).replay(&trace);
+/// assert_eq!(stats.misses, 4); // 1, 2 cold; 3 evicts 1; 1 again misses
+/// assert_eq!(stats.hits, 2);
+/// ```
+#[derive(Debug)]
+pub struct LruCacheSim {
+    capacity: usize,
+    /// page → last-use tick.
+    resident: HashMap<u64, u64>,
+    /// last-use tick → page (the eviction order).
+    by_age: BTreeMap<u64, u64>,
+    tick: u64,
+}
+
+impl LruCacheSim {
+    /// A pool holding up to `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        LruCacheSim {
+            capacity,
+            resident: HashMap::with_capacity(capacity + 1),
+            by_age: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Touches one page; returns `true` on a hit.
+    pub fn touch(&mut self, page: u64) -> bool {
+        self.tick += 1;
+        match self.resident.insert(page, self.tick) {
+            Some(old_tick) => {
+                self.by_age.remove(&old_tick);
+                self.by_age.insert(self.tick, page);
+                true
+            }
+            None => {
+                self.by_age.insert(self.tick, page);
+                if self.resident.len() > self.capacity {
+                    let (&oldest, &victim) =
+                        self.by_age.iter().next().expect("pool is over capacity");
+                    self.by_age.remove(&oldest);
+                    self.resident.remove(&victim);
+                }
+                false
+            }
+        }
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Replays a whole trace, accumulating statistics.
+    pub fn replay(&mut self, trace: &[AccessEvent]) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for ev in trace {
+            stats.accesses += 1;
+            let before = self.resident.len();
+            if self.touch(ev.page) {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+                if self.resident.len() == before {
+                    stats.evictions += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AccessKind;
+
+    fn ev(page: u64) -> AccessEvent {
+        AccessEvent {
+            page,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn repeated_touches_hit() {
+        let mut c = LruCacheSim::new(4);
+        let trace = vec![ev(1), ev(1), ev(2), ev(1), ev(2)];
+        let s = c.replay(&trace);
+        assert_eq!(s.accesses, 5);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.evictions, 0);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_page() {
+        let mut c = LruCacheSim::new(2);
+        assert!(!c.touch(1));
+        assert!(!c.touch(2));
+        assert!(c.touch(1)); // 1 is now warmer than 2
+        assert!(!c.touch(3)); // evicts 2
+        assert!(c.touch(1));
+        assert!(c.touch(3));
+        assert!(!c.touch(2)); // 2 was evicted
+        assert_eq!(c.resident_pages(), 2);
+    }
+
+    #[test]
+    fn working_set_within_capacity_only_misses_cold() {
+        let mut c = LruCacheSim::new(8);
+        let trace: Vec<_> = (0..1000).map(|i| ev(i % 8)).collect();
+        let s = c.replay(&trace);
+        assert_eq!(s.misses, 8);
+        assert_eq!(s.hits, 992);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn scan_through_cache_never_hits() {
+        let mut c = LruCacheSim::new(8);
+        let trace: Vec<_> = (0..100).map(ev).collect();
+        let s = c.replay(&trace);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 100);
+        assert_eq!(s.evictions, 92);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        LruCacheSim::new(0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Record and key abstractions shared by every structure in the workspace.
+
+use std::fmt;
+
+/// Marker trait for key types usable in the dense sequential file and its
+/// comparators.
+///
+/// Keys must be totally ordered (`Ord`), cheap to copy (`Copy`) — they are
+/// mirrored into the in-memory calibrator tree as search fingers — and
+/// printable for diagnostics. A blanket implementation covers every type
+/// with those bounds, so `u64`, `i32`, `[u8; 16]`, tuples of such, etc. all
+/// work out of the box.
+pub trait Key: Ord + Copy + fmt::Debug {}
+
+impl<T: Ord + Copy + fmt::Debug> Key for T {}
+
+/// A single record: a key plus an opaque payload.
+///
+/// The paper treats records as atomic units moved between pages; payloads
+/// are never inspected by any maintenance algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record<K, V> {
+    /// Search key; unique within a file.
+    pub key: K,
+    /// Opaque payload carried along with the key.
+    pub value: V,
+}
+
+impl<K, V> Record<K, V> {
+    /// Creates a record from its parts.
+    pub fn new(key: K, value: V) -> Self {
+        Record { key, value }
+    }
+
+    /// Splits the record back into its parts.
+    pub fn into_parts(self) -> (K, V) {
+        (self.key, self.value)
+    }
+}
+
+impl<K: Key, V> Record<K, V> {
+    /// Compares two records by key only.
+    pub fn key_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let r = Record::new(7u64, "payload");
+        assert_eq!(r.key, 7);
+        assert_eq!(r.value, "payload");
+        let (k, v) = r.into_parts();
+        assert_eq!((k, v), (7, "payload"));
+    }
+
+    #[test]
+    fn key_cmp_orders_by_key_only() {
+        let a = Record::new(1u32, 99);
+        let b = Record::new(2u32, 0);
+        assert_eq!(a.key_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(b.key_cmp(&a), std::cmp::Ordering::Greater);
+        let c = Record::new(1u32, 12345);
+        assert_eq!(a.key_cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn key_trait_blanket_impl_covers_common_types() {
+        fn assert_key<K: Key>() {}
+        assert_key::<u64>();
+        assert_key::<i64>();
+        assert_key::<(u32, u16)>();
+        assert_key::<[u8; 8]>();
+        assert_key::<char>();
+    }
+}

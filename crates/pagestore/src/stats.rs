@@ -1,0 +1,154 @@
+//! Page-access counters.
+//!
+//! The paper's complexity results are stated in *page accesses*; these
+//! counters are the measurement instrument shared by every structure in the
+//! workspace. They are interior-mutable (relaxed atomics) so that logically
+//! read-only operations (lookups, scans) can charge reads through `&self`,
+//! including from parallel readers behind a shared lock (`dsf-concurrent`).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Monotonic counters of physical page reads and writes.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`], used to attribute accesses to a
+/// single command via [`IoStats::since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Cumulative page reads at snapshot time.
+    pub reads: u64,
+    /// Cumulative page writes at snapshot time.
+    pub writes: u64,
+}
+
+/// The difference between two snapshots: the cost of one span of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoDelta {
+    /// Page reads performed in the span.
+    pub reads: u64,
+    /// Page writes performed in the span.
+    pub writes: u64,
+}
+
+impl IoDelta {
+    /// Total page accesses (reads + writes) in the span.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `n` page reads.
+    #[inline]
+    pub fn charge_reads(&self, n: u64) {
+        self.reads.fetch_add(n, Relaxed);
+    }
+
+    /// Charges `n` page writes.
+    #[inline]
+    pub fn charge_writes(&self, n: u64) {
+        self.writes.fetch_add(n, Relaxed);
+    }
+
+    /// Cumulative page reads.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Relaxed)
+    }
+
+    /// Cumulative page writes.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Relaxed)
+    }
+
+    /// Cumulative page accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads.load(Relaxed) + self.writes.load(Relaxed)
+    }
+
+    /// Takes a snapshot for later [`IoStats::since`] attribution.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.load(Relaxed),
+            writes: self.writes.load(Relaxed),
+        }
+    }
+
+    /// Accesses performed since `snap` was taken.
+    pub fn since(&self, snap: IoSnapshot) -> IoDelta {
+        IoDelta {
+            reads: self.reads.load(Relaxed) - snap.reads,
+            writes: self.writes.load(Relaxed) - snap.writes,
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Relaxed);
+        self.writes.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.charge_reads(3);
+        s.charge_writes(2);
+        s.charge_reads(1);
+        assert_eq!(s.reads(), 4);
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.accesses(), 6);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_span() {
+        let s = IoStats::new();
+        s.charge_reads(10);
+        let snap = s.snapshot();
+        s.charge_reads(2);
+        s.charge_writes(5);
+        let d = s.since(snap);
+        assert_eq!(
+            d,
+            IoDelta {
+                reads: 2,
+                writes: 5
+            }
+        );
+        assert_eq!(d.accesses(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = IoStats::new();
+        s.charge_writes(9);
+        s.reset();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(
+            s.snapshot(),
+            IoSnapshot {
+                reads: 0,
+                writes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_zero() {
+        let s = IoStats::new();
+        let snap = s.snapshot();
+        assert_eq!(s.since(snap), IoDelta::default());
+    }
+}

@@ -1,0 +1,671 @@
+//! The paged store: slots of sorted records packed into physical pages.
+//!
+//! A *slot* is the unit the maintenance algorithms address. In the paper's
+//! base regime one slot is one physical page. In the macro-block regime
+//! (Theorem 5.7) one slot spans `K` consecutive physical pages whose records
+//! are kept packed left-to-right at ≤ `page_capacity` records per page; every
+//! slot operation charges the physical pages it actually touches, which is
+//! what makes macro-block operations "K times as costly" exactly as the
+//! paper requires.
+
+use crate::record::{Key, Record};
+use crate::stats::IoStats;
+use crate::trace::{AccessKind, TraceBuffer};
+
+/// Index of a slot (logical page / macro-block) in a [`PagedStore`].
+pub type SlotId = u32;
+
+/// Sizing parameters for a [`PagedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of slots (the calibrator's `M`).
+    pub slots: u32,
+    /// Physical pages per slot (the paper's `K`; 1 in the base regime).
+    pub pages_per_slot: u32,
+    /// Records per physical page (the paper's `D` in the base regime).
+    pub page_capacity: u32,
+}
+
+/// Errors raised by store construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A sizing parameter was zero.
+    ZeroParameter(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::ZeroParameter(p) => write!(f, "store parameter `{p}` must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Which end of a slot a bulk take/put addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum End {
+    /// The low-key end.
+    Front,
+    /// The high-key end.
+    Back,
+}
+
+/// An in-memory array of slots with page-access accounting.
+///
+/// Counted operations charge [`IoStats`] (and the optional [`TraceBuffer`])
+/// for every physical page they touch. Metadata (`len`, `min_key`,
+/// `max_key`, `total_records`) is free — the dense-file algorithms mirror it
+/// in the in-memory calibrator. `peek_*` methods are free and reserved for
+/// invariant checkers and tests.
+#[derive(Debug)]
+pub struct PagedStore<K, V> {
+    cfg: StoreConfig,
+    slots: Vec<Vec<Record<K, V>>>,
+    total: usize,
+    stats: IoStats,
+    trace: TraceBuffer,
+}
+
+impl<K: Key, V> PagedStore<K, V> {
+    /// Creates an empty store.
+    pub fn new(cfg: StoreConfig) -> Result<Self, StoreError> {
+        if cfg.slots == 0 {
+            return Err(StoreError::ZeroParameter("slots"));
+        }
+        if cfg.pages_per_slot == 0 {
+            return Err(StoreError::ZeroParameter("pages_per_slot"));
+        }
+        if cfg.page_capacity == 0 {
+            return Err(StoreError::ZeroParameter("page_capacity"));
+        }
+        Ok(PagedStore {
+            cfg,
+            slots: (0..cfg.slots).map(|_| Vec::new()).collect(),
+            total: 0,
+            stats: IoStats::new(),
+            trace: TraceBuffer::new(),
+        })
+    }
+
+    /// Sizing parameters.
+    pub fn config(&self) -> StoreConfig {
+        self.cfg
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> u32 {
+        self.cfg.slots
+    }
+
+    /// Total number of physical pages (`slots × pages_per_slot`).
+    pub fn total_pages(&self) -> u64 {
+        u64::from(self.cfg.slots) * u64::from(self.cfg.pages_per_slot)
+    }
+
+    /// The access counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The optional access trace.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    // ------------------------------------------------------------------
+    // Free metadata.
+    // ------------------------------------------------------------------
+
+    /// Record count of `slot` (free: mirrored in the calibrator).
+    pub fn len(&self, slot: SlotId) -> usize {
+        self.slots[slot as usize].len()
+    }
+
+    /// Whether `slot` holds no records (free).
+    pub fn is_empty(&self, slot: SlotId) -> bool {
+        self.slots[slot as usize].is_empty()
+    }
+
+    /// Smallest key in `slot` (free: mirrored in the calibrator).
+    pub fn min_key(&self, slot: SlotId) -> Option<K> {
+        self.slots[slot as usize].first().map(|r| r.key)
+    }
+
+    /// Largest key in `slot` (free: mirrored in the calibrator).
+    pub fn max_key(&self, slot: SlotId) -> Option<K> {
+        self.slots[slot as usize].last().map(|r| r.key)
+    }
+
+    /// Total records across all slots (free).
+    pub fn total_records(&self) -> usize {
+        self.total
+    }
+
+    /// Raw slot contents. **Free — invariant checkers and tests only.**
+    pub fn peek_slot(&self, slot: SlotId) -> &[Record<K, V>] {
+        &self.slots[slot as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Physical page geometry.
+    // ------------------------------------------------------------------
+
+    /// Physical page (within the slot) that holds record index `idx`.
+    ///
+    /// Records are packed left-to-right at `page_capacity` per page; a
+    /// transient overflow beyond `pages_per_slot × page_capacity` is clamped
+    /// onto the last page of the slot.
+    fn page_within_slot(&self, idx: usize) -> u64 {
+        let p = idx as u64 / u64::from(self.cfg.page_capacity);
+        p.min(u64::from(self.cfg.pages_per_slot) - 1)
+    }
+
+    /// Global physical page number of record index `idx` in `slot`.
+    fn global_page(&self, slot: SlotId, idx: usize) -> u64 {
+        u64::from(slot) * u64::from(self.cfg.pages_per_slot) + self.page_within_slot(idx)
+    }
+
+    /// Charges one access per distinct physical page spanned by the record
+    /// index range `lo..hi` of `slot`.
+    fn charge_span(&self, slot: SlotId, lo: usize, hi: usize, kind: AccessKind) {
+        if lo >= hi {
+            return;
+        }
+        let first = self.page_within_slot(lo);
+        let last = self.page_within_slot(hi - 1);
+        let n = last - first + 1;
+        match kind {
+            AccessKind::Read => self.stats.charge_reads(n),
+            AccessKind::Write => self.stats.charge_writes(n),
+        }
+        if self.trace.is_enabled() {
+            let base = u64::from(slot) * u64::from(self.cfg.pages_per_slot);
+            for p in first..=last {
+                self.trace.record(base + p, kind);
+            }
+        }
+    }
+
+    /// Charges a read of the single page holding record index `idx`.
+    fn charge_point_read(&self, slot: SlotId, idx: usize) {
+        self.stats.charge_reads(1);
+        self.trace
+            .record(self.global_page(slot, idx), AccessKind::Read);
+    }
+
+    // ------------------------------------------------------------------
+    // Counted operations.
+    // ------------------------------------------------------------------
+
+    /// Binary-searches `slot` for `key`, charging one read per distinct
+    /// physical page probed.
+    ///
+    /// Returns `Ok(idx)` when the key is present, `Err(idx)` with the
+    /// insertion index otherwise. An empty slot charges nothing — its
+    /// emptiness is calibrator metadata.
+    pub fn search(&self, slot: SlotId, key: &K) -> Result<usize, usize> {
+        let recs = &self.slots[slot as usize];
+        if recs.is_empty() {
+            return Err(0);
+        }
+        // Simulate the probe sequence to charge the distinct pages touched.
+        // A slot spans at most pages_per_slot pages, and a binary search
+        // touches O(log) of them; a tiny seen-list keeps each one charged
+        // exactly once even when probes revisit a page non-consecutively.
+        let (mut lo, mut hi) = (0usize, recs.len());
+        let mut seen: Vec<u64> = Vec::with_capacity(8);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let page = self.page_within_slot(mid);
+            if !seen.contains(&page) {
+                self.charge_point_read(slot, mid);
+                seen.push(page);
+            }
+            match recs[mid].key.cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Looks up `key` in `slot`, charging like [`PagedStore::search`].
+    pub fn get(&self, slot: SlotId, key: &K) -> Option<&V> {
+        match self.search(slot, key) {
+            Ok(idx) => Some(&self.slots[slot as usize][idx].value),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts (or replaces) `key` in `slot`.
+    ///
+    /// Charges the search reads plus writes for the suffix pages shifted by
+    /// the insertion (one page in the base regime). Returns the previous
+    /// value if the key was already present.
+    pub fn insert(&mut self, slot: SlotId, key: K, value: V) -> Option<V> {
+        match self.search(slot, &key) {
+            Ok(idx) => {
+                self.charge_span(slot, idx, idx + 1, AccessKind::Write);
+                let old = std::mem::replace(&mut self.slots[slot as usize][idx].value, value);
+                Some(old)
+            }
+            Err(idx) => {
+                let new_len = self.slots[slot as usize].len() + 1;
+                self.charge_span(slot, idx, new_len, AccessKind::Write);
+                self.slots[slot as usize].insert(idx, Record::new(key, value));
+                self.total += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a record at a known position `idx` (as returned by a prior
+    /// [`PagedStore::search`] `Err`), charging only the suffix writes.
+    ///
+    /// Callers that must inspect the search result before committing (e.g.
+    /// to enforce a file-level capacity bound) use this to avoid paying the
+    /// search twice.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `idx` is not the correct sorted position
+    /// for `key` within `slot`.
+    pub fn insert_searched(&mut self, slot: SlotId, idx: usize, key: K, value: V) {
+        let recs = &self.slots[slot as usize];
+        debug_assert!(
+            idx == 0 || recs[idx - 1].key < key,
+            "insert_searched: bad position"
+        );
+        debug_assert!(
+            idx == recs.len() || key < recs[idx].key,
+            "insert_searched: bad position"
+        );
+        let new_len = recs.len() + 1;
+        self.charge_span(slot, idx, new_len, AccessKind::Write);
+        self.slots[slot as usize].insert(idx, Record::new(key, value));
+        self.total += 1;
+    }
+
+    /// Replaces the value at a known position `idx`, charging one page
+    /// write. Returns the previous value.
+    pub fn replace_at(&mut self, slot: SlotId, idx: usize, value: V) -> V {
+        self.charge_span(slot, idx, idx + 1, AccessKind::Write);
+        std::mem::replace(&mut self.slots[slot as usize][idx].value, value)
+    }
+
+    /// Removes `key` from `slot`, charging the search reads plus writes for
+    /// the suffix pages shifted by the removal.
+    pub fn remove(&mut self, slot: SlotId, key: &K) -> Option<V> {
+        match self.search(slot, key) {
+            Ok(idx) => {
+                let old_len = self.slots[slot as usize].len();
+                self.charge_span(slot, idx, old_len, AccessKind::Write);
+                let rec = self.slots[slot as usize].remove(idx);
+                self.total -= 1;
+                Some(rec.value)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Removes up to `n` records from one end of `slot` and returns them in
+    /// ascending key order.
+    ///
+    /// `Front` takes the lowest keys (the whole slot is rewritten — the
+    /// packed layout shifts left); `Back` takes the highest keys (only the
+    /// tail pages are touched). Both charge a read of the pages the departing
+    /// records occupied.
+    pub fn take(&mut self, slot: SlotId, n: usize, end: End) -> Vec<Record<K, V>> {
+        let len = self.slots[slot as usize].len();
+        let n = n.min(len);
+        if n == 0 {
+            return Vec::new();
+        }
+        let out = match end {
+            End::Front => {
+                self.charge_span(slot, 0, n, AccessKind::Read);
+                self.charge_span(slot, 0, len, AccessKind::Write);
+                let rest = self.slots[slot as usize].split_off(n);
+                std::mem::replace(&mut self.slots[slot as usize], rest)
+            }
+            End::Back => {
+                self.charge_span(slot, len - n, len, AccessKind::Read);
+                self.charge_span(slot, len - n, len, AccessKind::Write);
+                self.slots[slot as usize].split_off(len - n)
+            }
+        };
+        self.total -= out.len();
+        out
+    }
+
+    /// Appends `recs` (ascending, pre-sorted) to one end of `slot`.
+    ///
+    /// `Back` requires every new key to exceed the slot's current maximum
+    /// and touches only the tail pages; `Front` requires every new key to
+    /// precede the current minimum and rewrites the whole packed slot.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the ordering precondition is violated.
+    pub fn put(&mut self, slot: SlotId, recs: Vec<Record<K, V>>, end: End) {
+        if recs.is_empty() {
+            return;
+        }
+        debug_assert!(
+            recs.windows(2).all(|w| w[0].key < w[1].key),
+            "put: input not sorted"
+        );
+        let old_len = self.slots[slot as usize].len();
+        let new_len = old_len + recs.len();
+        self.total += recs.len();
+        match end {
+            End::Back => {
+                debug_assert!(
+                    self.max_key(slot).is_none_or(|m| m < recs[0].key),
+                    "put(Back): keys must exceed slot maximum"
+                );
+                // The page holding the current last record may be appended
+                // into, so include it in the charged span.
+                let from = old_len.saturating_sub(1);
+                self.charge_span(slot, from, new_len, AccessKind::Write);
+                self.slots[slot as usize].extend(recs);
+            }
+            End::Front => {
+                debug_assert!(
+                    self.min_key(slot)
+                        .is_none_or(|m| recs.last().unwrap().key < m),
+                    "put(Front): keys must precede slot minimum"
+                );
+                self.charge_span(slot, 0, new_len, AccessKind::Write);
+                let mut new = recs;
+                new.append(&mut self.slots[slot as usize]);
+                self.slots[slot as usize] = new;
+            }
+        }
+    }
+
+    /// Reads and removes every record of `slot`, charging one read per
+    /// non-empty page (used by one-shot redistribution in CONTROL 1 and the
+    /// baselines).
+    pub fn take_all(&mut self, slot: SlotId) -> Vec<Record<K, V>> {
+        let len = self.slots[slot as usize].len();
+        self.charge_span(slot, 0, len, AccessKind::Read);
+        self.total -= len;
+        std::mem::take(&mut self.slots[slot as usize])
+    }
+
+    /// Replaces the contents of `slot` with `recs` (ascending, pre-sorted),
+    /// charging one write per page covered by the new contents or vacated
+    /// from the old ones.
+    pub fn replace(&mut self, slot: SlotId, recs: Vec<Record<K, V>>) {
+        debug_assert!(
+            recs.windows(2).all(|w| w[0].key < w[1].key),
+            "replace: input not sorted"
+        );
+        let old_len = self.slots[slot as usize].len();
+        // Charge every page the replacement touches: the pages the new
+        // contents cover plus any previously-occupied tail pages that must
+        // be vacated (symmetric with take(Front), which rewrites the whole
+        // packed span).
+        let touched = old_len.max(recs.len());
+        if touched > 0 {
+            self.charge_span(slot, 0, touched.max(1), AccessKind::Write);
+        }
+        self.total = self.total - old_len + recs.len();
+        self.slots[slot as usize] = recs;
+    }
+
+    /// Reads the records of one physical page of `slot`, charging one read.
+    ///
+    /// `page` is the page index within the slot; the returned slice is the
+    /// records packed onto that page (empty if the page holds none). Range
+    /// scans use this to stream a slot page by page.
+    pub fn read_page(&self, slot: SlotId, page: u32) -> &[Record<K, V>] {
+        debug_assert!(page < self.cfg.pages_per_slot);
+        self.stats.charge_reads(1);
+        self.trace.record(
+            u64::from(slot) * u64::from(self.cfg.pages_per_slot) + u64::from(page),
+            AccessKind::Read,
+        );
+        let recs = &self.slots[slot as usize];
+        let cap = self.cfg.page_capacity as usize;
+        let lo = (page as usize * cap).min(recs.len());
+        let hi = if page + 1 == self.cfg.pages_per_slot {
+            recs.len() // last page absorbs any transient overflow
+        } else {
+            ((page as usize + 1) * cap).min(recs.len())
+        };
+        &recs[lo..hi]
+    }
+
+    /// Number of physical pages of `slot` that currently hold records.
+    pub fn pages_used(&self, slot: SlotId) -> u32 {
+        let len = self.slots[slot as usize].len();
+        if len == 0 {
+            0
+        } else {
+            (self.page_within_slot(len - 1) + 1) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(slots: u32, k: u32, cap: u32) -> PagedStore<u64, u32> {
+        PagedStore::new(StoreConfig {
+            slots,
+            pages_per_slot: k,
+            page_capacity: cap,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        for (s, k, c, field) in [
+            (0u32, 1u32, 1u32, "slots"),
+            (1, 0, 1, "pages_per_slot"),
+            (1, 1, 0, "page_capacity"),
+        ] {
+            let err = PagedStore::<u64, u32>::new(StoreConfig {
+                slots: s,
+                pages_per_slot: k,
+                page_capacity: c,
+            })
+            .unwrap_err();
+            assert_eq!(err, StoreError::ZeroParameter(field));
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut st = store(4, 1, 8);
+        assert_eq!(st.insert(2, 10, 100), None);
+        assert_eq!(st.insert(2, 20, 200), None);
+        assert_eq!(st.insert(2, 10, 101), Some(100)); // replace
+        assert_eq!(st.get(2, &10), Some(&101));
+        assert_eq!(st.get(2, &20), Some(&200));
+        assert_eq!(st.get(2, &30), None);
+        assert_eq!(st.len(2), 2);
+        assert_eq!(st.total_records(), 2);
+        assert_eq!(st.remove(2, &10), Some(101));
+        assert_eq!(st.remove(2, &10), None);
+        assert_eq!(st.total_records(), 1);
+    }
+
+    #[test]
+    fn metadata_is_free() {
+        let mut st = store(2, 1, 8);
+        st.insert(0, 5, 0);
+        st.insert(0, 9, 0);
+        let snap = st.stats().snapshot();
+        assert_eq!(st.len(0), 2);
+        assert_eq!(st.min_key(0), Some(5));
+        assert_eq!(st.max_key(0), Some(9));
+        assert_eq!(st.total_records(), 2);
+        let _ = st.peek_slot(0);
+        assert_eq!(st.stats().since(snap).accesses(), 0);
+    }
+
+    #[test]
+    fn single_page_slot_costs_one_page_per_touch() {
+        let mut st = store(2, 1, 16);
+        let snap = st.stats().snapshot();
+        st.insert(0, 1, 0); // empty slot: no read, 1 write
+        let d = st.stats().since(snap);
+        assert_eq!((d.reads, d.writes), (0, 1));
+
+        let snap = st.stats().snapshot();
+        st.insert(0, 2, 0); // 1 probe read + 1 write
+        let d = st.stats().since(snap);
+        assert_eq!((d.reads, d.writes), (1, 1));
+    }
+
+    #[test]
+    fn take_put_preserve_order_and_totals() {
+        let mut st = store(2, 1, 16);
+        for k in [10u64, 20, 30, 40, 50] {
+            st.insert(0, k, k as u32);
+        }
+        let low = st.take(0, 2, End::Front);
+        assert_eq!(low.iter().map(|r| r.key).collect::<Vec<_>>(), vec![10, 20]);
+        let high = st.take(0, 2, End::Back);
+        assert_eq!(high.iter().map(|r| r.key).collect::<Vec<_>>(), vec![40, 50]);
+        assert_eq!(st.len(0), 1);
+
+        st.put(1, high, End::Back);
+        st.put(1, low, End::Front);
+        assert_eq!(st.min_key(1), Some(10));
+        assert_eq!(st.max_key(1), Some(50));
+        assert_eq!(st.total_records(), 5);
+    }
+
+    #[test]
+    fn take_clamps_to_len_and_zero_is_free() {
+        let mut st = store(1, 1, 8);
+        st.insert(0, 1, 0);
+        let snap = st.stats().snapshot();
+        assert!(st.take(0, 0, End::Front).is_empty());
+        assert_eq!(st.stats().since(snap).accesses(), 0);
+        let got = st.take(0, 99, End::Back);
+        assert_eq!(got.len(), 1);
+        assert_eq!(st.total_records(), 0);
+    }
+
+    #[test]
+    fn macro_block_charges_scale_with_pages_touched() {
+        // K = 4 pages of capacity 4 → slot capacity 16.
+        let mut st = store(2, 4, 4);
+        let recs: Vec<Record<u64, u32>> = (0..12).map(|k| Record::new(k, 0)).collect();
+        let snap = st.stats().snapshot();
+        st.replace(0, recs);
+        // 12 records cover pages 0,1,2 → 3 writes.
+        assert_eq!(st.stats().since(snap).writes, 3);
+
+        // Taking from the front rewrites the whole packed prefix: reads of the
+        // departing span (page 0) + writes of all 3 occupied pages.
+        let snap = st.stats().snapshot();
+        let out = st.take(0, 4, End::Front);
+        assert_eq!(out.len(), 4);
+        let d = st.stats().since(snap);
+        assert_eq!((d.reads, d.writes), (1, 3));
+
+        // Taking from the back touches only the tail page.
+        let snap = st.stats().snapshot();
+        let out = st.take(0, 2, End::Back);
+        assert_eq!(out.len(), 2);
+        let d = st.stats().since(snap);
+        assert_eq!((d.reads, d.writes), (1, 1));
+    }
+
+    #[test]
+    fn read_page_partitions_slot_contents() {
+        let mut st = store(1, 3, 4);
+        let recs: Vec<Record<u64, u32>> = (0..10).map(|k| Record::new(k, 0)).collect();
+        st.replace(0, recs);
+        assert_eq!(
+            st.read_page(0, 0).iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            st.read_page(0, 1).iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
+        assert_eq!(
+            st.read_page(0, 2).iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![8, 9]
+        );
+        assert_eq!(st.pages_used(0), 3);
+    }
+
+    #[test]
+    fn last_page_absorbs_transient_overflow() {
+        let mut st = store(1, 2, 2);
+        let recs: Vec<Record<u64, u32>> = (0..5).map(|k| Record::new(k, 0)).collect();
+        st.replace(0, recs); // capacity 4, holding 5
+        assert_eq!(st.read_page(0, 1).len(), 3);
+        assert_eq!(st.pages_used(0), 2);
+    }
+
+    #[test]
+    fn take_all_then_replace_models_redistribution() {
+        let mut st = store(3, 1, 8);
+        for k in 0..6u64 {
+            st.insert(0, k, 0);
+        }
+        let snap = st.stats().snapshot();
+        let all = st.take_all(0);
+        assert_eq!(all.len(), 6);
+        assert_eq!(st.stats().since(snap).reads, 1);
+        st.replace(1, all[..3].to_vec());
+        st.replace(2, all[3..].to_vec());
+        assert_eq!(st.len(1), 3);
+        assert_eq!(st.len(2), 3);
+        assert_eq!(st.total_records(), 6);
+    }
+
+    #[test]
+    fn trace_records_global_page_numbers() {
+        let mut st = store(4, 2, 2);
+        st.trace().set_enabled(true);
+        st.insert(3, 1, 0); // slot 3, page 0 → global page 6
+        let evs = st.trace().take();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].page, 6);
+        assert_eq!(evs[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn search_charges_distinct_probe_pages_only() {
+        let mut st = store(1, 4, 4);
+        let recs: Vec<Record<u64, u32>> = (0..16).map(|k| Record::new(k * 2, 0)).collect();
+        st.replace(0, recs);
+        let snap = st.stats().snapshot();
+        assert_eq!(st.search(0, &14), Ok(7));
+        let d = st.stats().since(snap);
+        assert!(
+            d.reads >= 1 && d.reads <= 3,
+            "probes span at most log pages, got {}",
+            d.reads
+        );
+    }
+
+    #[test]
+    fn replace_with_empty_clears_and_charges_once() {
+        let mut st = store(1, 1, 4);
+        st.insert(0, 1, 0);
+        let snap = st.stats().snapshot();
+        st.replace(0, Vec::new());
+        assert_eq!(st.stats().since(snap).writes, 1);
+        assert!(st.is_empty(0));
+        // Clearing an already-empty slot is free.
+        let snap = st.stats().snapshot();
+        st.replace(0, Vec::new());
+        assert_eq!(st.stats().since(snap).accesses(), 0);
+    }
+}

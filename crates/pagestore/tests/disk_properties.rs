@@ -1,0 +1,76 @@
+//! Property tests for the rotational-disk model: the qualitative facts the
+//! experiments rely on must hold for arbitrary traces and parameters.
+
+use dsf_pagestore::disk::DiskModel;
+use dsf_pagestore::{AccessEvent, AccessKind};
+use proptest::prelude::*;
+
+fn ev(page: u64) -> AccessEvent {
+    AccessEvent {
+        page,
+        kind: AccessKind::Read,
+    }
+}
+
+fn arb_model() -> impl Strategy<Value = DiskModel> {
+    (0.1f64..50.0, 0.1f64..20.0, 0.001f64..2.0, 0u64..64).prop_map(|(seek, rot, xfer, rt)| {
+        DiskModel {
+            avg_seek_ms: seek,
+            rotational_latency_ms: rot,
+            transfer_ms_per_page: xfer,
+            read_through_pages: rt,
+        }
+    })
+}
+
+proptest! {
+    /// Appending events never reduces the estimated time.
+    #[test]
+    fn replay_is_monotone_in_the_trace(
+        model in arb_model(),
+        pages in prop::collection::vec(any::<u32>(), 1..100),
+    ) {
+        let trace: Vec<AccessEvent> = pages.iter().map(|&p| ev(u64::from(p))).collect();
+        let mut prev = 0.0;
+        for i in 0..=trace.len() {
+            let cost = model.replay_ms(&trace[..i]);
+            prop_assert!(cost >= prev - 1e-9, "prefix {} got cheaper", i);
+            prev = cost;
+        }
+    }
+
+    /// A sorted (ascending) visit order never costs more than the same
+    /// multiset of pages in arbitrary order.
+    #[test]
+    fn sorted_order_is_never_worse(
+        model in arb_model(),
+        pages in prop::collection::vec(any::<u16>(), 1..100),
+    ) {
+        let trace: Vec<AccessEvent> = pages.iter().map(|&p| ev(u64::from(p))).collect();
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        let sorted_trace: Vec<AccessEvent> = sorted.iter().map(|&p| ev(u64::from(p))).collect();
+        prop_assert!(
+            model.replay_ms(&sorted_trace) <= model.replay_ms(&trace) + 1e-9
+        );
+    }
+
+    /// Every access costs at least one transfer... except same-page
+    /// re-touches, which are free; and the analysis decomposition is exact.
+    #[test]
+    fn analysis_decomposition_is_consistent(
+        model in arb_model(),
+        pages in prop::collection::vec(any::<u16>(), 0..100),
+    ) {
+        let trace: Vec<AccessEvent> = pages.iter().map(|&p| ev(u64::from(p))).collect();
+        let a = model.analyze(&trace);
+        prop_assert_eq!(a.accesses, trace.len() as u64);
+        prop_assert_eq!(a.seeks + a.sequential + a.same_page, a.accesses);
+        // Lower bound: every seek costs a random access.
+        let floor = a.seeks as f64 * model.random_access_ms();
+        prop_assert!(a.estimated_ms >= floor - 1e-6);
+        // Upper bound: no access costs more than a random access.
+        let ceil = (a.seeks + a.sequential) as f64 * model.random_access_ms();
+        prop_assert!(a.estimated_ms <= ceil + 1e-6);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the paged store: every slot operation must agree
+//! with a plain sorted-`Vec` model, and the page-access accounting must
+//! obey its documented bounds.
+
+use dsf_pagestore::{End, PagedStore, Record, StoreConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum SlotOp {
+    Insert(u16, u8),
+    Remove(u16),
+    Get(u16),
+    TakeFront(u8),
+    TakeBack(u8),
+    TakeAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = SlotOp> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| SlotOp::Insert(k, v)),
+        2 => any::<u16>().prop_map(SlotOp::Remove),
+        2 => any::<u16>().prop_map(SlotOp::Get),
+        1 => any::<u8>().prop_map(SlotOp::TakeFront),
+        1 => any::<u8>().prop_map(SlotOp::TakeBack),
+        1 => Just(SlotOp::TakeAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// One slot, arbitrary op sequences, checked against a Vec model.
+    #[test]
+    fn slot_ops_match_model(
+        k in 1u32..5,
+        cap in 1u32..20,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut st: PagedStore<u16, u8> = PagedStore::new(StoreConfig {
+            slots: 1,
+            pages_per_slot: k,
+            page_capacity: cap,
+        }).unwrap();
+        let mut model: Vec<Record<u16, u8>> = Vec::new();
+        for op in &ops {
+            match *op {
+                SlotOp::Insert(key, v) => {
+                    let got = st.insert(0, key, v);
+                    let want = match model.binary_search_by(|r| r.key.cmp(&key)) {
+                        Ok(i) => Some(std::mem::replace(&mut model[i].value, v)),
+                        Err(i) => {
+                            model.insert(i, Record::new(key, v));
+                            None
+                        }
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                SlotOp::Remove(key) => {
+                    let got = st.remove(0, &key);
+                    let want = match model.binary_search_by(|r| r.key.cmp(&key)) {
+                        Ok(i) => Some(model.remove(i).value),
+                        Err(_) => None,
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                SlotOp::Get(key) => {
+                    let want = model
+                        .binary_search_by(|r| r.key.cmp(&key))
+                        .ok()
+                        .map(|i| model[i].value);
+                    prop_assert_eq!(st.get(0, &key).copied(), want);
+                }
+                SlotOp::TakeFront(n) => {
+                    let n = n as usize;
+                    let got = st.take(0, n, End::Front);
+                    let take = n.min(model.len());
+                    let want: Vec<Record<u16, u8>> = model.drain(..take).collect();
+                    prop_assert_eq!(got, want);
+                }
+                SlotOp::TakeBack(n) => {
+                    let n = n as usize;
+                    let got = st.take(0, n, End::Back);
+                    let split = model.len() - n.min(model.len());
+                    let want: Vec<Record<u16, u8>> = model.split_off(split);
+                    prop_assert_eq!(got, want);
+                }
+                SlotOp::TakeAll => {
+                    let got = st.take_all(0);
+                    let want: Vec<Record<u16, u8>> = std::mem::take(&mut model);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            // Metadata always agrees with the model.
+            prop_assert_eq!(st.len(0), model.len());
+            prop_assert_eq!(st.min_key(0), model.first().map(|r| r.key));
+            prop_assert_eq!(st.max_key(0), model.last().map(|r| r.key));
+            prop_assert_eq!(st.total_records(), model.len());
+        }
+        // read_page partitions the slot exactly.
+        let mut reassembled: Vec<Record<u16, u8>> = Vec::new();
+        for p in 0..k {
+            reassembled.extend(st.read_page(0, p).iter().cloned());
+        }
+        prop_assert_eq!(reassembled, model);
+    }
+
+    /// Charging bounds: every op touches at least one page when it moves
+    /// data, and never more than the slot's page count per direction.
+    #[test]
+    fn charges_are_bounded(
+        k in 1u32..5,
+        cap in 1u32..16,
+        keys in prop::collection::btree_set(any::<u16>(), 1..60),
+    ) {
+        let mut st: PagedStore<u16, u8> = PagedStore::new(StoreConfig {
+            slots: 2,
+            pages_per_slot: k,
+            page_capacity: cap,
+        }).unwrap();
+        for &key in &keys {
+            let snap = st.stats().snapshot();
+            st.insert(0, key, 0);
+            let d = st.stats().since(snap);
+            prop_assert!(d.writes >= 1, "an insert writes at least one page");
+            prop_assert!(
+                d.writes <= u64::from(k) && d.reads <= u64::from(k),
+                "an insert touches at most the slot: {:?}", d
+            );
+        }
+        // A full take(front) reads ≤ k pages and writes ≤ k pages.
+        let snap = st.stats().snapshot();
+        let n = st.len(0);
+        let all = st.take(0, n, End::Front);
+        prop_assert_eq!(all.len(), n);
+        let d = st.stats().since(snap);
+        prop_assert!(d.reads <= u64::from(k));
+        prop_assert!(d.writes <= u64::from(k));
+        // Putting them into the other slot writes ≤ k pages.
+        let snap = st.stats().snapshot();
+        st.put(1, all, End::Back);
+        let d = st.stats().since(snap);
+        prop_assert!(d.writes >= u64::from(n > 0));
+        prop_assert!(d.writes <= u64::from(k));
+        prop_assert_eq!(d.reads, 0);
+    }
+
+    /// Transient overflow: the last page absorbs records beyond k·cap and
+    /// geometry stays coherent.
+    #[test]
+    fn soft_overflow_is_coherent(
+        k in 1u32..4,
+        cap in 1u32..8,
+        extra in 0u32..10,
+    ) {
+        let mut st: PagedStore<u32, ()> = PagedStore::new(StoreConfig {
+            slots: 1,
+            pages_per_slot: k,
+            page_capacity: cap,
+        }).unwrap();
+        let n = k * cap + extra;
+        let recs: Vec<Record<u32, ()>> = (0..n).map(|i| Record::new(i, ())).collect();
+        st.replace(0, recs);
+        prop_assert_eq!(st.len(0), n as usize);
+        prop_assert!(st.pages_used(0) <= k);
+        let mut total = 0;
+        for p in 0..k {
+            total += st.read_page(0, p).len();
+        }
+        prop_assert_eq!(total, n as usize);
+        // The overflow sits on the last page.
+        if extra > 0 && k > 0 {
+            prop_assert_eq!(st.read_page(0, k - 1).len() as u32, cap + extra);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Surviving a surge — the scenario the paper's introduction uses to
+//! dismiss overflow chaining: "a large surge of insertions … attempted in a
+//! relatively small portion of the sequential file".
+//!
+//! A sensor archive keyed by `(sensor-id, timestamp)` receives a flood of
+//! readings from one sensor (a stuck alarm). The dense file absorbs the
+//! surge with bounded per-insert cost and keeps scans sequential; the same
+//! surge applied to an ISAM-style overflow file grows chains without bound.
+//!
+//! Run: `cargo run --release --example burst_ingest`
+
+use willard_dsf::{DenseFile, DenseFileConfig, DiskModel, OverflowFile};
+
+fn reading_key(sensor: u32, ts: u32) -> u64 {
+    (u64::from(sensor) << 32) | u64::from(ts)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut archive: DenseFile<u64, i32> = DenseFile::new(DenseFileConfig::control2(1024, 8, 40))?;
+    // 64 sensors × 60 readings of steady history.
+    let history: Vec<(u64, i32)> = (0..64u32)
+        .flat_map(|s| (0..60u32).map(move |t| (reading_key(s, t * 60), (s + t) as i32)))
+        .collect();
+    archive.bulk_load(history.iter().copied())?;
+
+    // The classical alternative, provisioned for the same data at ~2/3 fill.
+    let pages = (history.len() as u32).div_ceil(26);
+    let mut isam: OverflowFile<u64, i32> = OverflowFile::new(pages, 40);
+    isam.organize(history.iter().copied(), 26);
+
+    println!("steady state: {} readings from 64 sensors\n", archive.len());
+
+    // Sensor 17 goes haywire: 4000 readings in one burst — while the other
+    // 63 sensors keep reporting normally, so everyone's overflow pages
+    // interleave in the shared overflow area.
+    let mut worst = 0u64;
+    for t in 0..2900u32 {
+        let k = reading_key(17, 3600 + t);
+        let snap = archive.io_stats().snapshot();
+        archive.insert(k, -1)?;
+        worst = worst.max(archive.io_stats().since(snap).accesses());
+        isam.insert(k, -1);
+        if t % 2 == 0 {
+            let other = reading_key((t / 2) % 64, 3600 + t);
+            if other != k {
+                archive.insert(other, 0)?;
+                isam.insert(other, 0);
+            }
+        }
+    }
+    println!("surge of 2900 readings into sensor 17 (plus background traffic):");
+    println!(
+        "  dense file worst insert: {worst} page accesses (J = {})",
+        archive.config().j
+    );
+    let ostats = isam.overflow_stats();
+    println!(
+        "  overflow file grew {} chain pages (longest chain: {} pages)",
+        ostats.overflow_pages, ostats.longest_chain
+    );
+
+    // Now the ops team pulls sensor 17's trace for the last hour — a stream.
+    let disk = DiskModel::modern_hdd();
+    let (lo, hi) = (reading_key(17, 0), reading_key(18, 0));
+
+    archive.io_trace().set_enabled(true);
+    let n_dense = archive.range(lo..hi).count();
+    let dense_ms = disk.replay_ms(&archive.io_trace().take());
+    archive.io_trace().set_enabled(false);
+
+    isam.trace().set_enabled(true);
+    let mut n_isam = 0;
+    isam.scan_from(&lo, usize::MAX, |k, _| {
+        if *k < hi {
+            n_isam += 1;
+        }
+    });
+    let isam_ms = disk.replay_ms(&isam.trace().take());
+    isam.trace().set_enabled(false);
+
+    println!("\nretrieving sensor 17's {} readings:", n_dense);
+    println!("  dense file: {dense_ms:.1} ms (physically sequential)");
+    println!("  overflow:   {isam_ms:.1} ms ({n_isam} readings; a seek per chain page)");
+
+    // Density maintenance means the archive keeps absorbing surges forever;
+    // the overflow file can only recover by a full reorganization — and the
+    // surge has outgrown its primary area entirely, so even that needs a
+    // reallocation first.
+    archive
+        .check_invariants()
+        .expect("dense file invariants hold after the surge");
+    println!("\ndense file invariants hold after the surge ✓");
+    let needed = isam.len().div_ceil(26);
+    println!(
+        "overflow file recovery: {} records no longer fit its {} primary pages;",
+        isam.len(),
+        pages
+    );
+    println!("a reorganization must first reallocate to ≥ {needed} pages — the full");
+    println!("O(M) rebuild the paper set out to avoid.");
+    Ok(())
+}

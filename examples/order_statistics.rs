@@ -1,0 +1,83 @@
+//! Percentile analytics on a latency ledger — the order-statistic queries
+//! the calibrator's rank counters provide for free.
+//!
+//! A latency-measurement service stores samples keyed by
+//! `(latency-in-µs, sequence)` so the file's key order *is* the latency
+//! order. Percentiles become `select_nth`, SLO counts become
+//! `count_range`, and trimming outliers becomes `retain` — all without a
+//! separate index.
+//!
+//! Run: `cargo run --release --example order_statistics`
+
+use willard_dsf::{DenseFile, DenseFileConfig};
+
+fn sample_key(latency_us: u32, seq: u32) -> u64 {
+    (u64::from(latency_us) << 32) | u64::from(seq)
+}
+
+fn latency_of(key: u64) -> u32 {
+    (key >> 32) as u32
+}
+
+/// A deterministic long-tailed latency generator (mixture of a tight mode
+/// and a heavy tail).
+fn synth_latency(i: u32) -> u32 {
+    let base = 800 + (i * 37) % 400; // 0.8–1.2 ms mode
+    if i.is_multiple_of(97) {
+        base + 20_000 + (i * 211) % 80_000 // tail: 20–100 ms
+    } else if i.is_multiple_of(13) {
+        base + 2_000 + (i * 131) % 6_000 // shoulder: 2.8–9 ms
+    } else {
+        base
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ledger: DenseFile<u64, u32> = DenseFile::new(DenseFileConfig::control2(1024, 16, 64))?;
+
+    for i in 0..10_000u32 {
+        ledger.insert(sample_key(synth_latency(i), i), i)?;
+    }
+    println!("stored {} latency samples\n", ledger.len());
+
+    // Percentiles: one select_nth each (one page read; the tree walk is free).
+    let n = ledger.len();
+    println!("percentiles (µs):");
+    for (label, q) in [
+        ("p50", 0.50),
+        ("p90", 0.90),
+        ("p99", 0.99),
+        ("p99.9", 0.999),
+    ] {
+        let rank = ((n - 1) as f64 * q) as u64;
+        let (k, _) = ledger.select_nth(rank).expect("rank in range");
+        println!("  {label:>6}: {:>8}", latency_of(*k));
+    }
+    let (worst, _) = ledger.last().expect("non-empty");
+    println!("  {:>6}: {:>8}", "max", latency_of(*worst));
+
+    // SLO accounting: how many samples beat 2 ms? Two probes, any size.
+    let under = ledger.count_range(..sample_key(2_000, 0));
+    println!(
+        "\nSLO: {under} of {n} samples under 2 ms ({:.2}%)",
+        under as f64 * 100.0 / n as f64
+    );
+
+    // The slowest five requests, by reverse stream.
+    println!("\nslowest five (latency µs, sequence):");
+    for (k, seq) in ledger.iter_rev().take(5) {
+        println!("  {:>8}  #{seq}", latency_of(*k));
+    }
+
+    // Trim the tail above 50 ms in one offline pass and re-check the max.
+    let removed = ledger.retain(|k, _| latency_of(*k) <= 50_000);
+    let (worst, _) = ledger.last().expect("non-empty");
+    println!(
+        "\ntrimmed {removed} outliers above 50 ms; new max {} µs across {} samples",
+        latency_of(*worst),
+        ledger.len()
+    );
+
+    ledger.check_invariants().expect("invariants hold");
+    Ok(())
+}

@@ -1,0 +1,502 @@
+//! `dsf` — a command-line tool for dense sequential files.
+//!
+//! Files live on disk in the checksummed snapshot format of
+//! `dsf_core::snapshot` (keys are `u64`, values UTF-8 strings). Every
+//! mutating command loads the snapshot, applies the operation through the
+//! full CONTROL 1/2 machinery, re-verifies the paper's invariants, and
+//! writes the snapshot back.
+//!
+//! ```text
+//! dsf create ledger.dsf --pages 1024 --min-density 8 --max-density 40
+//! dsf insert ledger.dsf 42 "first record"
+//! dsf load   ledger.dsf rows.csv          # lines of key,value
+//! dsf get    ledger.dsf 42
+//! dsf scan   ledger.dsf --from 0 --limit 20 [--rev]
+//! dsf remove ledger.dsf 42
+//! dsf stats  ledger.dsf
+//! dsf verify ledger.dsf
+//! dsf bench  ledger.dsf --workload hammer --ops 1000
+//! dsf gen-trace ops.trace --workload uniform --ops 5000
+//! dsf replay ledger.dsf ops.trace
+//! dsf image-export ledger.dsf ledger.img --page-bytes 4096
+//! dsf image-stream ledger.img --from 0 --to 99999
+//! ```
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use willard_dsf::{Algorithm, DenseFile, DenseFileConfig};
+
+type Ledger = DenseFile<u64, String>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  dsf create <path> --pages M --min-density d --max-density D [--control1] [--j J]
+  dsf insert <path> <key> <value>
+  dsf remove <path> <key>
+  dsf get    <path> <key>
+  dsf load   <path> <csv-path>
+  dsf scan   <path> [--from KEY] [--limit N] [--rev]
+  dsf rank   <path> <key>
+  dsf stats  <path>
+  dsf verify <path>
+  dsf bench  <path> --workload uniform|burst|hammer [--ops N]   (does not modify <path>)
+  dsf gen-trace <trace-path> --workload uniform|burst|hammer|mixed [--ops N] [--seed S]
+  dsf replay <path> <trace-path> [--dry-run]
+  dsf image-export <path> <image-path> [--page-bytes N]
+  dsf image-stream <image-path> [--from KEY] [--to KEY]   (reads straight off disk)";
+
+fn run(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "create" => create(&args[1..]),
+        "insert" => insert(&args[1..]),
+        "remove" => remove(&args[1..]),
+        "get" => get(&args[1..]),
+        "load" => load_csv(&args[1..]),
+        "scan" => scan(&args[1..]),
+        "rank" => rank(&args[1..]),
+        "stats" => stats(&args[1..]),
+        "verify" => verify(&args[1..]),
+        "bench" => bench(&args[1..]),
+        "gen-trace" => gen_trace(&args[1..]),
+        "replay" => replay(&args[1..]),
+        "image-export" => image_export(&args[1..]),
+        "image-stream" => image_stream(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses `--flag value` pairs after the positional arguments.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn open(path: &str) -> Result<Ledger, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    DenseFile::read_snapshot(&mut file).map_err(|e| format!("cannot load `{path}`: {e}"))
+}
+
+fn save(ledger: &Ledger, path: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    let write = || -> Result<(), String> {
+        let mut file = File::create(&tmp).map_err(|e| format!("cannot write `{tmp}`: {e}"))?;
+        ledger
+            .write_snapshot(&mut file)
+            .map_err(|e| format!("cannot save: {e}"))?;
+        file.sync_all()
+            .map_err(|e| format!("cannot sync `{tmp}`: {e}"))?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        std::fs::remove_file(&tmp).ok(); // never leave a partial temp behind
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace `{path}`: {e}"))?;
+    Ok(())
+}
+
+fn create(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("create: missing <path>")?;
+    if std::path::Path::new(path).exists() {
+        return Err(format!(
+            "`{path}` already exists; refusing to overwrite (delete it first if you mean it)"
+        ));
+    }
+    let pages: u32 = parse(
+        &flag(args, "--pages").ok_or("create: missing --pages")?,
+        "--pages",
+    )?;
+    let d: u32 = parse(
+        &flag(args, "--min-density").ok_or("create: missing --min-density")?,
+        "--min-density",
+    )?;
+    let big_d: u32 = parse(
+        &flag(args, "--max-density").ok_or("create: missing --max-density")?,
+        "--max-density",
+    )?;
+    let mut config = if has_flag(args, "--control1") {
+        DenseFileConfig::control1(pages, d, big_d)
+    } else {
+        DenseFileConfig::control2(pages, d, big_d)
+    };
+    if let Some(j) = flag(args, "--j") {
+        config = config.with_j(parse(&j, "--j")?);
+    }
+    let ledger: Ledger = DenseFile::new(config).map_err(|e| e.to_string())?;
+    save(&ledger, path)?;
+    let cfg = ledger.config();
+    Ok(format!(
+        "created `{path}`: {} slots × K={} pages, capacity {} records, J={}\n",
+        cfg.slots,
+        cfg.k,
+        ledger.capacity(),
+        cfg.j
+    ))
+}
+
+fn insert(args: &[String]) -> Result<String, String> {
+    let [path, key, value] = args else {
+        return Err("insert: expected <path> <key> <value>".into());
+    };
+    let mut ledger = open(path)?;
+    let key: u64 = parse(key, "key")?;
+    let old = ledger
+        .insert(key, value.clone())
+        .map_err(|e| e.to_string())?;
+    save(&ledger, path)?;
+    Ok(match old {
+        Some(v) => format!("replaced {key} (was: {v})\n"),
+        None => format!(
+            "inserted {key} ({} page accesses)\n",
+            ledger.op_stats().last_accesses
+        ),
+    })
+}
+
+fn remove(args: &[String]) -> Result<String, String> {
+    let [path, key] = args else {
+        return Err("remove: expected <path> <key>".into());
+    };
+    let mut ledger = open(path)?;
+    let key: u64 = parse(key, "key")?;
+    let old = ledger.remove(&key);
+    save(&ledger, path)?;
+    Ok(match old {
+        Some(v) => format!("removed {key} (was: {v})\n"),
+        None => format!("{key} not found\n"),
+    })
+}
+
+fn get(args: &[String]) -> Result<String, String> {
+    let [path, key] = args else {
+        return Err("get: expected <path> <key>".into());
+    };
+    let ledger = open(path)?;
+    let key: u64 = parse(key, "key")?;
+    Ok(match ledger.get(&key) {
+        Some(v) => format!("{v}\n"),
+        None => format!("{key} not found\n"),
+    })
+}
+
+fn load_csv(args: &[String]) -> Result<String, String> {
+    let [path, csv] = args else {
+        return Err("load: expected <path> <csv-path>".into());
+    };
+    let mut ledger = open(path)?;
+    let text = std::fs::read_to_string(csv).map_err(|e| format!("cannot read `{csv}`: {e}"))?;
+    let mut inserted = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(',')
+            .ok_or_else(|| format!("{csv}:{}: expected `key,value`", lineno + 1))?;
+        let key: u64 = parse(k.trim(), "key")?;
+        ledger
+            .insert(key, v.trim().to_string())
+            .map_err(|e| format!("{csv}:{}: {e}", lineno + 1))?;
+        inserted += 1;
+    }
+    save(&ledger, path)?;
+    Ok(format!(
+        "loaded {inserted} records; file now holds {} of {} (worst command: {} page accesses)\n",
+        ledger.len(),
+        ledger.capacity(),
+        ledger.op_stats().max_accesses
+    ))
+}
+
+fn scan(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("scan: missing <path>")?;
+    let ledger = open(path)?;
+    let rev = has_flag(args, "--rev");
+    let from: u64 = match flag(args, "--from") {
+        Some(s) => parse(&s, "--from")?,
+        // Forward scans start at the low end; reverse scans at the top.
+        None => {
+            if rev {
+                u64::MAX
+            } else {
+                0
+            }
+        }
+    };
+    let limit: usize = match flag(args, "--limit") {
+        Some(s) => parse(&s, "--limit")?,
+        None => 50,
+    };
+    let mut out = String::new();
+    if rev {
+        for (k, v) in ledger.range_rev(..=from).take(limit) {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+    } else {
+        for (k, v) in ledger.range(from..).take(limit) {
+            out.push_str(&format!("{k},{v}\n"));
+        }
+    }
+    Ok(out)
+}
+
+fn rank(args: &[String]) -> Result<String, String> {
+    let [path, key] = args else {
+        return Err("rank: expected <path> <key>".into());
+    };
+    let ledger = open(path)?;
+    let key: u64 = parse(key, "key")?;
+    Ok(format!("{}\n", ledger.rank(&key)))
+}
+
+fn stats(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("stats: missing <path>")?;
+    let ledger = open(path)?;
+    let cfg = ledger.config();
+    let alg = match cfg.algorithm {
+        Algorithm::Control1 => "CONTROL 1 (amortized)",
+        Algorithm::Control2 => "CONTROL 2 (worst-case)",
+    };
+    let fill = if ledger.capacity() == 0 {
+        0.0
+    } else {
+        ledger.len() as f64 / ledger.capacity() as f64 * 100.0
+    };
+    Ok(format!(
+        "path:        {path}\n\
+         algorithm:   {alg}\n\
+         geometry:    {} slots × K={} pages of {} records (requested M={})\n\
+         densities:   d#={} D#={} (L={}, gap assumption: {})\n\
+         shift budget J={}\n\
+         records:     {} of {} ({fill:.1}% full)\n",
+        cfg.slots,
+        cfg.k,
+        cfg.page_capacity,
+        cfg.requested_pages,
+        cfg.slot_min,
+        cfg.slot_max,
+        cfg.log_slots,
+        cfg.meets_gap_assumption,
+        cfg.j,
+        ledger.len(),
+        ledger.capacity(),
+    ))
+}
+
+fn bench(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("bench: missing <path>")?;
+    let mut ledger = open(path)?; // benched in memory; never saved back
+    let workload = flag(args, "--workload").ok_or("bench: missing --workload")?;
+    let ops: usize = match flag(args, "--ops") {
+        Some(s) => parse(&s, "--ops")?,
+        None => 1000,
+    };
+    let room = (ledger.capacity() - ledger.len()) as usize;
+    let ops = ops.min(room);
+    if ops == 0 {
+        return Err("bench: file is at capacity; nothing to insert".into());
+    }
+    // Aim the stream inside (or just above) the resident key range.
+    let hi = ledger.last().map(|(k, _)| *k).unwrap_or(1 << 40);
+    let keys = match workload.as_str() {
+        "uniform" => dsf_workloads::uniform_unique(7, ops, 0, hi.max(ops as u64 * 4)),
+        "burst" => {
+            let lo = hi / 2;
+            dsf_workloads::burst(7, ops, lo, lo + (ops as u64) * 4)
+        }
+        "hammer" => dsf_workloads::hammer(ops, hi / 2, 1),
+        other => return Err(format!("bench: unknown workload `{other}`")),
+    };
+    let mut done = 0u64;
+    for k in keys {
+        if ledger.insert(k, format!("bench-{k}")).is_ok() {
+            done += 1;
+        }
+    }
+    let s = ledger.op_stats();
+    ledger
+        .check_invariants()
+        .map_err(|v| format!("invariants broken: {v:?}"))?;
+    Ok(format!(
+        "replayed {done} {workload} inserts (in memory only):\n\
+         mean {:.2} page accesses/command, worst {}, J={}\n\
+         shifts {}, records shifted {}\n",
+        s.mean_accesses(),
+        s.max_accesses,
+        ledger.config().j,
+        s.shifts,
+        s.records_shifted,
+    ))
+}
+
+fn gen_trace(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("gen-trace: missing <trace-path>")?;
+    let workload = flag(args, "--workload").ok_or("gen-trace: missing --workload")?;
+    let ops: usize = match flag(args, "--ops") {
+        Some(s) => parse(&s, "--ops")?,
+        None => 1000,
+    };
+    let seed: u64 = match flag(args, "--seed") {
+        Some(s) => parse(&s, "--seed")?,
+        None => 42,
+    };
+    let stream: Vec<dsf_workloads::Op> = match workload.as_str() {
+        "uniform" => dsf_workloads::uniform_unique(seed, ops, 0, u64::MAX >> 8)
+            .into_iter()
+            .map(dsf_workloads::Op::Insert)
+            .collect(),
+        "burst" => dsf_workloads::burst(seed, ops, 1 << 40, (1 << 40) + ops as u64 * 8)
+            .into_iter()
+            .map(dsf_workloads::Op::Insert)
+            .collect(),
+        "hammer" => dsf_workloads::hammer(ops, 1 << 40, 1)
+            .into_iter()
+            .map(dsf_workloads::Op::Insert)
+            .collect(),
+        "mixed" => dsf_workloads::mixed_ops(seed, ops, 0.6, u64::MAX >> 8),
+        other => return Err(format!("gen-trace: unknown workload `{other}`")),
+    };
+    std::fs::write(path, dsf_workloads::write_trace(&stream))
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    Ok(format!("wrote {} operations to `{path}`\n", stream.len()))
+}
+
+fn replay(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("replay: missing <path>")?;
+    let trace_path = args.get(1).ok_or("replay: missing <trace-path>")?;
+    let dry = has_flag(args, "--dry-run");
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
+    let ops = dsf_workloads::read_trace(&text)?;
+    let mut ledger = open(path)?;
+    let (mut ins, mut del, mut gets, mut scans, mut refused) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for op in &ops {
+        match *op {
+            dsf_workloads::Op::Insert(k) => {
+                if ledger.insert(k, format!("replay-{k}")).is_ok() {
+                    ins += 1;
+                } else {
+                    refused += 1;
+                }
+            }
+            dsf_workloads::Op::Remove(k) => {
+                if ledger.remove(&k).is_some() {
+                    del += 1;
+                }
+            }
+            dsf_workloads::Op::Get(k) => {
+                let _ = ledger.get(&k);
+                gets += 1;
+            }
+            dsf_workloads::Op::Scan { start, limit } => {
+                let _ = ledger.range(start..).take(limit).count();
+                scans += 1;
+            }
+        }
+    }
+    ledger
+        .check_invariants()
+        .map_err(|v| format!("invariants broken after replay: {v:?}"))?;
+    if !dry {
+        save(&ledger, path)?;
+    }
+    let s = ledger.op_stats();
+    Ok(format!(
+        "replayed {} ops ({ins} inserts, {del} deletes, {gets} gets, {scans} scans, {refused} refused at capacity){}\n\
+         mean {:.2} page accesses/command, worst {}\n",
+        ops.len(),
+        if dry { " [dry run — file unchanged]" } else { "" },
+        s.mean_accesses(),
+        s.max_accesses,
+    ))
+}
+
+fn image_export(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("image-export: missing <path>")?;
+    let image = args.get(1).ok_or("image-export: missing <image-path>")?;
+    let page_bytes: u32 = match flag(args, "--page-bytes") {
+        Some(s) => parse(&s, "--page-bytes")?,
+        None => 4096,
+    };
+    let ledger = open(path)?;
+    let img = willard_dsf::durable::PhysicalImage::create(&ledger, image, page_bytes)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote `{image}`: {} records at their page addresses ({} pages × {page_bytes} B)\n",
+        ledger.len(),
+        img.pages() + 1,
+    ))
+}
+
+fn image_stream(args: &[String]) -> Result<String, String> {
+    let image = args.first().ok_or("image-stream: missing <image-path>")?;
+    let lo: u64 = match flag(args, "--from") {
+        Some(s) => parse(&s, "--from")?,
+        None => 0,
+    };
+    let hi: u64 = match flag(args, "--to") {
+        Some(s) => parse(&s, "--to")?,
+        None => u64::MAX,
+    };
+    let mut img = willard_dsf::durable::PhysicalImage::open(image).map_err(|e| e.to_string())?;
+    let (recs, report) = img
+        .stream_range::<u64, String>(lo, hi)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (k, v) in &recs {
+        out.push_str(&format!("{k},{v}\n"));
+    }
+    out.push_str(&format!(
+        "# {} records; {} seeks, {} pages, {} bytes read\n",
+        recs.len(),
+        report.seeks,
+        report.pages_read,
+        report.bytes_read
+    ));
+    Ok(out)
+}
+
+fn verify(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("verify: missing <path>")?;
+    let ledger = open(path)?;
+    match ledger.check_invariants() {
+        Ok(()) => Ok(format!(
+            "ok: {} records, all invariants hold (order, density, BALANCE(d,D), flags)\n",
+            ledger.len()
+        )),
+        Err(violations) => {
+            let mut msg = String::from("INVARIANT VIOLATIONS:\n");
+            for v in violations {
+                msg.push_str(&format!("  - {v}\n"));
+            }
+            Err(msg)
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # willard-dsf — dense sequential files with good worst-case maintenance
+//!
+//! A comprehensive Rust reproduction of
+//!
+//! > Dan E. Willard, *Good Worst-Case Algorithms for Inserting and Deleting
+//! > Records in Dense Sequential Files*, SIGMOD 1986.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core_`] — the paper's contribution: the [`DenseFile`] maintained by
+//!   CONTROL 1 (amortized) or
+//!   CONTROL 2 (worst-case `O(log²M/(D−d))` page accesses per command),
+//!   including the macro-block regime of Theorem 5.7.
+//! * [`pagestore`] — the shared paged-storage substrate with page-access
+//!   accounting and the rotational-disk cost model.
+//! * [`btree`] — a B+-tree over the same substrate (the paper's comparator).
+//! * [`baselines`] — the classical alternatives: naive sequential file,
+//!   ISAM-style overflow chaining, and an amortized PMA.
+//! * [`workloads`] — deterministic workload generators (uniform, burst,
+//!   hammer, hotspot, mixed).
+//! * [`concurrent`] — a range-sharded concurrent wrapper
+//!   ([`ShardedFile`]): per-stripe dense files behind reader-writer locks,
+//!   preserving the per-command bound per stripe.
+//! * [`durable`] — crash safety ([`DurableFile`]): checkpoints plus a
+//!   CRC-framed write-ahead log with torn-tail recovery.
+//!
+//! The most common types are re-exported at the crate root; see the
+//! `examples/` directory for runnable walkthroughs and `crates/bench` for
+//! the harness that regenerates every figure and claim of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dsf_baselines as baselines;
+pub use dsf_btree as btree;
+pub use dsf_concurrent as concurrent;
+pub use dsf_core as core_;
+pub use dsf_durable as durable;
+pub use dsf_pagestore as pagestore;
+pub use dsf_workloads as workloads;
+
+pub use dsf_baselines::{AmortizedPma, NaiveSequentialFile, OverflowFile, PmaConfig};
+pub use dsf_btree::{BPlusTree, BTreeConfig};
+pub use dsf_concurrent::ShardedFile;
+pub use dsf_core::{
+    Algorithm, DenseFile, DenseFileConfig, DsfError, InvariantViolation, MacroBlocking,
+};
+pub use dsf_durable::{DurableFile, SyncPolicy};
+pub use dsf_pagestore::{disk::DiskModel, IoStats, Record};

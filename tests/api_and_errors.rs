@@ -1,0 +1,206 @@
+//! Error paths, capacity handling, rebuilds, and API edge cases.
+
+use willard_dsf::core_::BulkLoadError;
+use willard_dsf::{Algorithm, DenseFile, DenseFileConfig, DsfError, MacroBlocking};
+
+#[test]
+fn capacity_gate_and_rebuild() {
+    let cfg = DenseFileConfig::control2(8, 2, 16);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    assert_eq!(f.capacity(), 16);
+    for k in 0..16u64 {
+        f.insert(k, k).unwrap();
+    }
+    assert_eq!(
+        f.insert(99, 0),
+        Err(DsfError::CapacityExceeded { capacity: 16 })
+    );
+    // Value replacement is still allowed at capacity.
+    assert_eq!(f.insert(5, 55).unwrap(), Some(5));
+
+    // Rebuild into a bigger file and keep going.
+    let mut f = f
+        .rebuild_into(DenseFileConfig::control2(32, 4, 24))
+        .unwrap();
+    assert_eq!(f.len(), 16);
+    assert_eq!(f.capacity(), 128);
+    f.insert(99, 0).unwrap();
+    assert_eq!(f.get(&5), Some(&55));
+    f.check_invariants().unwrap();
+    let keys: Vec<u64> = f.iter().map(|(k, _)| *k).collect();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn bulk_load_errors() {
+    let cfg = DenseFileConfig::control2(8, 2, 16);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    assert_eq!(
+        f.bulk_load([(3u64, 0u64), (3, 1)]),
+        Err(DsfError::BulkLoad(BulkLoadError::NotSorted { index: 1 }))
+    );
+    assert_eq!(
+        f.bulk_load((0..17u64).map(|k| (k, k))),
+        Err(DsfError::BulkLoad(BulkLoadError::TooMany {
+            records: 17,
+            capacity: 16
+        }))
+    );
+    f.bulk_load((0..10u64).map(|k| (k, k))).unwrap();
+    assert_eq!(
+        f.bulk_load([(100u64, 0u64)]),
+        Err(DsfError::BulkLoad(BulkLoadError::NotEmpty))
+    );
+}
+
+#[test]
+fn per_slot_layout_validation() {
+    let cfg = DenseFileConfig::control2(4, 2, 3).with_macro_blocking(MacroBlocking::Disabled);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    // Wrong width.
+    assert_eq!(
+        f.bulk_load_per_slot(vec![vec![]; 3]),
+        Err(DsfError::BulkLoad(BulkLoadError::LayoutWidth {
+            got: 3,
+            expected: 4
+        }))
+    );
+    // Slot over density bound D.
+    let overfull = vec![(0..4u64).map(|k| (k, k)).collect(), vec![], vec![], vec![]];
+    assert_eq!(
+        f.bulk_load_per_slot(overfull),
+        Err(DsfError::BulkLoad(BulkLoadError::SlotOverflow {
+            slot: 0,
+            len: 4,
+            max: 3
+        }))
+    );
+    // Cross-slot disorder.
+    let unsorted = vec![vec![(10u64, 0u64)], vec![(5, 0)], vec![], vec![]];
+    assert!(matches!(
+        f.bulk_load_per_slot(unsorted),
+        Err(DsfError::BulkLoad(BulkLoadError::NotSorted { .. }))
+    ));
+    // A layout that breaks BALANCE: root density > d. 3 slots × 3 records
+    // = 9 > 8 = capacity, caught as TooMany; instead overload one subtree:
+    // slots 0,1 at 3 records each → node over g(v,1)? With d=2, D=3, L=2:
+    // g(depth1,1) = 2 + (1/2)·1 = 2.5; p = 3 > 2.5 → Unbalanced.
+    let lopsided = vec![
+        (0..3u64).map(|k| (k, k)).collect(),
+        (10..13u64).map(|k| (k, k)).collect(),
+        vec![],
+        vec![],
+    ];
+    assert!(matches!(
+        f.bulk_load_per_slot(lopsided),
+        Err(DsfError::BulkLoad(BulkLoadError::Unbalanced { .. }))
+    ));
+    // And a legal layout loads.
+    let legal = vec![vec![(1u64, 1u64)], vec![(2, 2)], vec![(3, 3)], vec![(4, 4)]];
+    f.bulk_load_per_slot(legal).unwrap();
+    assert_eq!(f.len(), 4);
+}
+
+#[test]
+fn degenerate_geometries() {
+    // A single-page file.
+    let cfg = DenseFileConfig::control2(1, 2, 16).with_macro_blocking(MacroBlocking::Disabled);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    assert_eq!(f.capacity(), 2);
+    f.insert(1, 1).unwrap();
+    f.insert(2, 2).unwrap();
+    assert!(f.insert(3, 3).is_err());
+    f.check_invariants().unwrap();
+    assert_eq!(f.remove(&1), Some(1));
+    f.check_invariants().unwrap();
+
+    // Two pages.
+    let cfg = DenseFileConfig::control2(2, 4, 40).with_macro_blocking(MacroBlocking::Disabled);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    for k in 0..8u64 {
+        f.insert(k, k).unwrap();
+        f.check_invariants().unwrap();
+    }
+
+    // A non-power-of-two page count.
+    let cfg = DenseFileConfig::control2(13, 4, 40).with_macro_blocking(MacroBlocking::Disabled);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    for k in 0..f.capacity() {
+        f.insert(k * 7 % 1000, k).unwrap();
+        f.check_invariants()
+            .unwrap_or_else(|v| panic!("M=13 broke at {k}: {v:?}"));
+    }
+}
+
+#[test]
+fn empty_file_queries() {
+    let cfg = DenseFileConfig::control2(8, 2, 16);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    assert_eq!(f.get(&1), None);
+    assert_eq!(f.remove(&1), None);
+    assert!(!f.contains_key(&1));
+    assert_eq!(f.iter().count(), 0);
+    assert_eq!(f.len(), 0);
+    assert!(f.is_empty());
+    // The first insert lands mid-file to leave room on both sides.
+    f.insert(42, 0).unwrap();
+    let occupied: Vec<u32> = (0..8).filter(|&s| !f.store().is_empty(s)).collect();
+    assert_eq!(occupied, vec![4]);
+}
+
+#[test]
+fn replacement_is_not_a_command() {
+    let cfg = DenseFileConfig::control2(16, 4, 32);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    f.insert(1, 10).unwrap();
+    let commands = f.op_stats().commands;
+    assert_eq!(f.insert(1, 11).unwrap(), Some(10));
+    assert_eq!(
+        f.op_stats().commands,
+        commands,
+        "replacement must not count as a command"
+    );
+    assert_eq!(f.remove(&999), None);
+    assert_eq!(
+        f.op_stats().commands,
+        commands,
+        "a miss must not count as a command"
+    );
+}
+
+#[test]
+fn algorithms_agree_on_contents() {
+    let keys = dsf_workloads::uniform_unique(3, 400, 0, 1 << 30);
+    let mut c1: DenseFile<u64, u64> = DenseFile::new(DenseFileConfig::control1(64, 8, 40)).unwrap();
+    let mut c2: DenseFile<u64, u64> = DenseFile::new(DenseFileConfig::control2(64, 8, 40)).unwrap();
+    assert_eq!(c1.config().algorithm, Algorithm::Control1);
+    assert_eq!(c2.config().algorithm, Algorithm::Control2);
+    for &k in &keys {
+        c1.insert(k, k).unwrap();
+        c2.insert(k, k).unwrap();
+    }
+    for &k in keys.iter().step_by(3) {
+        assert_eq!(c1.remove(&k), Some(k));
+        assert_eq!(c2.remove(&k), Some(k));
+    }
+    let a: Vec<u64> = c1.iter().map(|(k, _)| *k).collect();
+    let b: Vec<u64> = c2.iter().map(|(k, _)| *k).collect();
+    assert_eq!(a, b);
+    c1.check_invariants().unwrap();
+    c2.check_invariants().unwrap();
+}
+
+#[test]
+fn io_stats_attribute_costs_to_commands() {
+    let cfg = DenseFileConfig::control2(64, 8, 40);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    f.bulk_load((0..256u64).map(|k| (k << 20, k))).unwrap();
+    let before = f.io_stats().accesses();
+    f.insert(1, 1).unwrap();
+    let after = f.io_stats().accesses();
+    assert!(after > before);
+    assert_eq!(f.op_stats().last_accesses, after - before);
+    assert!(f.op_stats().max_accesses >= f.op_stats().last_accesses);
+    assert_eq!(f.op_stats().commands, 1);
+    assert_eq!(f.op_stats().histogram.total(), 1);
+}

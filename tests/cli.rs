@@ -1,0 +1,352 @@
+//! End-to-end tests of the `dsf` command-line tool: every subcommand runs
+//! against a real snapshot file on disk.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dsf(dir: &PathBuf, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dsf"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsf-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_round_trip() {
+    let dir = tempdir("roundtrip");
+
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "t.dsf",
+            "--pages",
+            "64",
+            "--min-density",
+            "4",
+            "--max-density",
+            "24",
+        ],
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("capacity 256 records"));
+
+    let out = dsf(&dir, &["insert", "t.dsf", "42", "hello world"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("inserted 42"));
+
+    let out = dsf(&dir, &["get", "t.dsf", "42"]);
+    assert_eq!(stdout(&out), "hello world\n");
+
+    let out = dsf(&dir, &["insert", "t.dsf", "42", "replaced"]);
+    assert!(stdout(&out).contains("was: hello world"));
+
+    // Bulk load from CSV.
+    std::fs::write(
+        dir.join("rows.csv"),
+        "1,one\n2,two\n3,three\n# comment\n\n10,ten\n",
+    )
+    .unwrap();
+    let out = dsf(&dir, &["load", "t.dsf", "rows.csv"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("loaded 4 records"));
+
+    let out = dsf(&dir, &["scan", "t.dsf", "--limit", "3"]);
+    assert_eq!(stdout(&out), "1,one\n2,two\n3,three\n");
+
+    let out = dsf(
+        &dir,
+        &["scan", "t.dsf", "--from", "42", "--rev", "--limit", "2"],
+    );
+    assert_eq!(stdout(&out), "42,replaced\n10,ten\n");
+
+    let out = dsf(&dir, &["rank", "t.dsf", "10"]);
+    assert_eq!(stdout(&out), "3\n");
+
+    let out = dsf(&dir, &["remove", "t.dsf", "2"]);
+    assert!(stdout(&out).contains("removed 2 (was: two)"));
+    let out = dsf(&dir, &["remove", "t.dsf", "2"]);
+    assert!(stdout(&out).contains("not found"));
+
+    let out = dsf(&dir, &["stats", "t.dsf"]);
+    let s = stdout(&out);
+    assert!(s.contains("CONTROL 2"), "{s}");
+    assert!(s.contains("records:     4 of 256"), "{s}");
+
+    let out = dsf(&dir, &["verify", "t.dsf"]);
+    assert!(stdout(&out).contains("all invariants hold"));
+
+    // bench runs in memory and leaves the file untouched.
+    let before = std::fs::read(dir.join("t.dsf")).unwrap();
+    let out = dsf(
+        &dir,
+        &["bench", "t.dsf", "--workload", "hammer", "--ops", "100"],
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("page accesses/command"));
+    assert_eq!(std::fs::read(dir.join("t.dsf")).unwrap(), before);
+    let out = dsf(&dir, &["bench", "t.dsf", "--workload", "nope"]);
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_error_paths() {
+    let dir = tempdir("errors");
+
+    // Unknown command.
+    let out = dsf(&dir, &["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing file.
+    let out = dsf(&dir, &["get", "missing.dsf", "1"]);
+    assert!(!out.status.success());
+
+    // Refuses to clobber an existing file.
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "exists.dsf",
+            "--pages",
+            "8",
+            "--min-density",
+            "1",
+            "--max-density",
+            "4",
+        ],
+    );
+    assert!(out.status.success());
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "exists.dsf",
+            "--pages",
+            "8",
+            "--min-density",
+            "1",
+            "--max-density",
+            "4",
+        ],
+    );
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("already exists"));
+
+    // Invalid geometry.
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "bad.dsf",
+            "--pages",
+            "8",
+            "--min-density",
+            "5",
+            "--max-density",
+            "5",
+        ],
+    );
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("d < D"));
+
+    // Corrupt snapshot.
+    std::fs::write(dir.join("garbage.dsf"), b"not a snapshot at all").unwrap();
+    let out = dsf(&dir, &["verify", "garbage.dsf"]);
+    assert!(!out.status.success());
+
+    // Capacity exhaustion surfaces cleanly.
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "tiny.dsf",
+            "--pages",
+            "2",
+            "--min-density",
+            "1",
+            "--max-density",
+            "4",
+        ],
+    );
+    assert!(out.status.success());
+    assert!(dsf(&dir, &["insert", "tiny.dsf", "1", "a"])
+        .status
+        .success());
+    assert!(dsf(&dir, &["insert", "tiny.dsf", "2", "b"])
+        .status
+        .success());
+    let out = dsf(&dir, &["insert", "tiny.dsf", "3", "c"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("capacity"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_trace_record_and_replay() {
+    let dir = tempdir("trace");
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "t.dsf",
+            "--pages",
+            "128",
+            "--min-density",
+            "8",
+            "--max-density",
+            "40",
+        ],
+    );
+    assert!(out.status.success());
+    let out = dsf(
+        &dir,
+        &[
+            "gen-trace",
+            "ops.trace",
+            "--workload",
+            "mixed",
+            "--ops",
+            "300",
+        ],
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("300 operations"));
+
+    // Dry run leaves the file untouched.
+    let before = std::fs::read(dir.join("t.dsf")).unwrap();
+    let out = dsf(&dir, &["replay", "t.dsf", "ops.trace", "--dry-run"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("dry run"));
+    assert_eq!(std::fs::read(dir.join("t.dsf")).unwrap(), before);
+
+    // A real replay persists, deterministically.
+    let out = dsf(&dir, &["replay", "t.dsf", "ops.trace"]);
+    assert!(out.status.success(), "{out:?}");
+    let out = dsf(&dir, &["verify", "t.dsf"]);
+    assert!(out.status.success(), "{out:?}");
+    let n_line = stdout(&dsf(&dir, &["stats", "t.dsf"]));
+    assert!(n_line.contains("records:"), "{n_line}");
+
+    // Same trace replayed into a fresh file gives the same record count.
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "u.dsf",
+            "--pages",
+            "128",
+            "--min-density",
+            "8",
+            "--max-density",
+            "40",
+        ],
+    );
+    assert!(out.status.success());
+    dsf(&dir, &["replay", "u.dsf", "ops.trace"]);
+    let a = stdout(&dsf(&dir, &["stats", "t.dsf"]));
+    let b = stdout(&dsf(&dir, &["stats", "u.dsf"]));
+    let rec = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("records:"))
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(rec(&a), rec(&b));
+
+    // Garbage traces are rejected.
+    std::fs::write(dir.join("bad.trace"), "i 1\nfrobnicate 2\n").unwrap();
+    let out = dsf(&dir, &["replay", "t.dsf", "bad.trace"]);
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_physical_image_round_trip() {
+    let dir = tempdir("image");
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "t.dsf",
+            "--pages",
+            "64",
+            "--min-density",
+            "4",
+            "--max-density",
+            "24",
+        ],
+    );
+    assert!(out.status.success());
+    for k in [10u64, 20, 30, 40] {
+        dsf(&dir, &["insert", "t.dsf", &k.to_string(), &format!("v{k}")]);
+    }
+    let out = dsf(
+        &dir,
+        &["image-export", "t.dsf", "t.img", "--page-bytes", "1024"],
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("4 records"));
+
+    let out = dsf(
+        &dir,
+        &["image-stream", "t.img", "--from", "15", "--to", "35"],
+    );
+    assert!(out.status.success(), "{out:?}");
+    let s = stdout(&out);
+    assert!(s.contains("20,v20"), "{s}");
+    assert!(s.contains("30,v30"), "{s}");
+    assert!(!s.contains("10,v10"), "{s}");
+    assert!(s.contains("seeks"), "{s}");
+
+    // Opening garbage fails cleanly.
+    std::fs::write(dir.join("junk.img"), b"nope").unwrap();
+    let out = dsf(&dir, &["image-stream", "junk.img"]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_control1_files() {
+    let dir = tempdir("control1");
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "c1.dsf",
+            "--pages",
+            "32",
+            "--min-density",
+            "4",
+            "--max-density",
+            "20",
+            "--control1",
+        ],
+    );
+    assert!(out.status.success());
+    for k in 0..50u64 {
+        assert!(dsf(&dir, &["insert", "c1.dsf", &k.to_string(), "v"])
+            .status
+            .success());
+    }
+    let out = dsf(&dir, &["stats", "c1.dsf"]);
+    assert!(stdout(&out).contains("CONTROL 1"));
+    let out = dsf(&dir, &["verify", "c1.dsf"]);
+    assert!(out.status.success(), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

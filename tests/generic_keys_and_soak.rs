@@ -1,0 +1,138 @@
+//! Genericity and endurance: the dense file must work for any ordered
+//! `Copy` key type, and must hold its invariants over long mixed lifetimes.
+
+use willard_dsf::{DenseFile, DenseFileConfig};
+
+#[test]
+fn tuple_keys() {
+    // Composite keys, e.g. (day, sequence) as used by the examples.
+    let mut f: DenseFile<(u16, u32), String> =
+        DenseFile::new(DenseFileConfig::control2(32, 4, 24)).unwrap();
+    for day in 0..8u16 {
+        for seq in 0..10u32 {
+            f.insert((day, seq), format!("{day}/{seq}")).unwrap();
+        }
+    }
+    assert_eq!(f.len(), 80);
+    assert_eq!(f.get(&(3, 7)), Some(&"3/7".to_string()));
+    let day3: Vec<(u16, u32)> = f.range((3, 0)..(4, 0)).map(|(k, _)| *k).collect();
+    assert_eq!(day3.len(), 10);
+    assert!(day3.iter().all(|&(d, _)| d == 3));
+    f.check_invariants().unwrap();
+}
+
+#[test]
+fn signed_keys() {
+    let mut f: DenseFile<i64, i64> = DenseFile::new(DenseFileConfig::control2(32, 4, 24)).unwrap();
+    for k in -50..50i64 {
+        f.insert(k * 3, k).unwrap();
+    }
+    assert_eq!(f.rank(&0), 50);
+    assert_eq!(*f.first().unwrap().0, -150);
+    assert_eq!(*f.last().unwrap().0, 147);
+    let negs: Vec<i64> = f.range(..0).map(|(k, _)| *k).collect();
+    assert_eq!(negs.len(), 50);
+    assert!(negs.windows(2).all(|w| w[0] < w[1]));
+    f.check_invariants().unwrap();
+}
+
+#[test]
+fn byte_array_keys() {
+    let mut f: DenseFile<[u8; 8], u32> =
+        DenseFile::new(DenseFileConfig::control2(16, 4, 24)).unwrap();
+    for i in 0..60u32 {
+        let mut k = [0u8; 8];
+        k[..4].copy_from_slice(&i.to_be_bytes());
+        f.insert(k, i).unwrap();
+    }
+    let mut probe = [0u8; 8];
+    probe[..4].copy_from_slice(&30u32.to_be_bytes());
+    assert_eq!(f.get(&probe), Some(&30));
+    // Big-endian byte order must equal numeric order.
+    let keys: Vec<[u8; 8]> = f.iter().map(|(k, _)| *k).collect();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    f.check_invariants().unwrap();
+}
+
+#[test]
+fn zero_sized_values() {
+    let mut f: DenseFile<u64, ()> = DenseFile::new(DenseFileConfig::control2(16, 4, 24)).unwrap();
+    for k in 0..50u64 {
+        f.insert(k, ()).unwrap();
+    }
+    assert_eq!(f.len(), 50);
+    assert!(f.contains_key(&25));
+    assert_eq!(f.remove(&25), Some(()));
+    f.check_invariants().unwrap();
+}
+
+/// A long mixed lifetime: grow to near capacity, churn at steady state,
+/// shrink to near empty, regrow — several times, with periodic vacuum and
+/// snapshot round-trips, invariants checked at every phase boundary.
+#[test]
+fn soak_lifecycle() {
+    let mut f: DenseFile<u64, u64> = DenseFile::new(DenseFileConfig::control2(128, 8, 40)).unwrap();
+    let cap = f.capacity();
+    let mut rng_state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = || {
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng_state
+    };
+    let mut resident: Vec<u64> = Vec::new();
+
+    for cycle in 0..3 {
+        // Grow to ~90%.
+        while f.len() < cap * 9 / 10 {
+            let k = next();
+            if f.insert(k, k).unwrap().is_none() {
+                resident.push(k);
+            }
+        }
+        f.check_invariants()
+            .unwrap_or_else(|v| panic!("cycle {cycle} grow: {v:?}"));
+
+        // Churn: 2000 paired delete/insert at steady state.
+        for i in 0..2000usize {
+            let idx = (next() as usize) % resident.len();
+            let dead = resident.swap_remove(idx);
+            assert!(f.remove(&dead).is_some());
+            let k = next();
+            if f.insert(k, k).unwrap().is_none() {
+                resident.push(k);
+            }
+            if i == 1000 {
+                f.check_invariants()
+                    .unwrap_or_else(|v| panic!("cycle {cycle} churn: {v:?}"));
+            }
+        }
+
+        // Snapshot round-trip mid-life.
+        let mut bytes = Vec::new();
+        f.write_snapshot(&mut bytes).unwrap();
+        f = DenseFile::read_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(f.len() as usize, resident.len());
+
+        // Shrink to ~10%.
+        while f.len() > cap / 10 {
+            let idx = (next() as usize) % resident.len();
+            let dead = resident.swap_remove(idx);
+            assert!(f.remove(&dead).is_some());
+        }
+        f.check_invariants()
+            .unwrap_or_else(|v| panic!("cycle {cycle} shrink: {v:?}"));
+
+        // Vacuum between cycles.
+        f.vacuum();
+        f.check_invariants()
+            .unwrap_or_else(|v| panic!("cycle {cycle} vacuum: {v:?}"));
+    }
+
+    // Final consistency: scan matches the resident set.
+    let mut want = resident.clone();
+    want.sort_unstable();
+    let got: Vec<u64> = f.iter().map(|(k, _)| *k).collect();
+    assert_eq!(got, want);
+    assert_eq!(f.op_stats().no_source_shifts, 0);
+}

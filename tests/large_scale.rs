@@ -1,0 +1,45 @@
+//! Large-scale validation, ignored by default (minutes of work; run with
+//! `cargo test --release --test large_scale -- --ignored`).
+
+use willard_dsf::{DenseFile, DenseFileConfig};
+
+/// A quarter-million-page file hammered to capacity: the worst command must
+/// stay within the 3·J·K + O(1) model and BALANCE must hold at the end.
+#[test]
+#[ignore = "minutes-long; run explicitly with --release -- --ignored"]
+fn quarter_million_pages_hammer() {
+    let cfg = DenseFileConfig::control2(1 << 18, 8, 80);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    let prefill = f.capacity() / 2;
+    f.bulk_load((0..prefill).map(|i| (i << 24, i))).unwrap();
+    let room = (f.capacity() - f.len()) as usize;
+    for k in dsf_workloads::hammer(room, 5 << 24, 1) {
+        f.insert(k, 0).unwrap();
+    }
+    f.check_invariants().unwrap();
+    let bound = 3 * u64::from(f.config().j) * u64::from(f.config().k) + 16;
+    assert!(
+        f.op_stats().max_accesses <= bound,
+        "worst {} exceeds {bound}",
+        f.op_stats().max_accesses
+    );
+    assert_eq!(f.op_stats().no_source_shifts, 0);
+}
+
+/// A smaller always-on cousin so CI still exercises a six-figure command
+/// count (≈1s in release, a few seconds in debug).
+#[test]
+fn sixty_five_thousand_commands_bounded() {
+    let cfg = DenseFileConfig::control2(1 << 13, 8, 48);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    let prefill = f.capacity() / 2;
+    f.bulk_load((0..prefill).map(|i| (i << 24, i))).unwrap();
+    let room = (f.capacity() - f.len()) as usize;
+    for k in dsf_workloads::hammer(room, 5 << 24, 1) {
+        f.insert(k, 0).unwrap();
+    }
+    f.check_invariants().unwrap();
+    let bound = 3 * u64::from(f.config().j) * u64::from(f.config().k) + 16;
+    assert!(f.op_stats().max_accesses <= bound);
+    assert!(f.op_stats().commands >= 32_000);
+}

@@ -1,0 +1,214 @@
+//! Model-based property tests: every structure in the workspace, driven by
+//! random operation sequences, must behave exactly like
+//! `std::collections::BTreeMap` — and the dense file must additionally hold
+//! every paper invariant after every command.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use willard_dsf::{
+    AmortizedPma, BPlusTree, BTreeConfig, DenseFile, DenseFileConfig, DsfError, MacroBlocking,
+    NaiveSequentialFile, PmaConfig,
+};
+
+/// A compact op encoding for proptest.
+#[derive(Debug, Clone, Copy)]
+enum MOp {
+    Insert(u16, u8),
+    Remove(u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| MOp::Insert(k, v)),
+        2 => any::<u16>().prop_map(MOp::Remove),
+        1 => any::<u16>().prop_map(MOp::Get),
+    ]
+}
+
+fn check_against_model(
+    f: &mut DenseFile<u16, u8>,
+    model: &mut BTreeMap<u16, u8>,
+    ops: &[MOp],
+    check_every: usize,
+) {
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            MOp::Insert(k, v) => {
+                if model.contains_key(&k) || (model.len() as u64) < f.capacity() {
+                    let got = f.insert(k, v).unwrap();
+                    assert_eq!(got, model.insert(k, v), "insert({k}) disagreed");
+                } else {
+                    assert!(matches!(
+                        f.insert(k, v),
+                        Err(DsfError::CapacityExceeded { .. })
+                    ));
+                }
+            }
+            MOp::Remove(k) => assert_eq!(f.remove(&k), model.remove(&k), "remove({k}) disagreed"),
+            MOp::Get(k) => assert_eq!(f.get(&k), model.get(&k), "get({k}) disagreed"),
+        }
+        if i % check_every == 0 {
+            if let Err(v) = f.check_invariants() {
+                panic!("invariants broken at op #{i} ({op:?}): {v:?}");
+            }
+        }
+    }
+    if let Err(v) = f.check_invariants() {
+        panic!("invariants broken at end: {v:?}");
+    }
+    // Full-content equivalence via an ordered scan.
+    let got: Vec<(u16, u8)> = f.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<(u16, u8)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want, "scan disagreed with the model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// CONTROL 2, base regime.
+    #[test]
+    fn control2_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let cfg = DenseFileConfig::control2(32, 8, 48);
+        let mut f: DenseFile<u16, u8> = DenseFile::new(cfg).unwrap();
+        let mut model = BTreeMap::new();
+        check_against_model(&mut f, &mut model, &ops, 7);
+    }
+
+    /// CONTROL 2 with a forced small J — still correct (contents-wise) even
+    /// when the worst-case *bound* is configured tightly.
+    #[test]
+    fn control2_small_j_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let cfg = DenseFileConfig::control2(32, 8, 48).with_j(4);
+        let mut f: DenseFile<u16, u8> = DenseFile::new(cfg).unwrap();
+        let mut model = BTreeMap::new();
+        check_against_model(&mut f, &mut model, &ops, 11);
+    }
+
+    /// CONTROL 2 in the macro-block regime (K > 1).
+    #[test]
+    fn control2_macroblock_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let cfg = DenseFileConfig::control2(64, 6, 8); // tiny gap → K > 1
+        let mut f: DenseFile<u16, u8> = DenseFile::new(cfg).unwrap();
+        prop_assert!(f.config().k > 1);
+        let mut model = BTreeMap::new();
+        check_against_model(&mut f, &mut model, &ops, 13);
+    }
+
+    /// CONTROL 1 (amortized).
+    #[test]
+    fn control1_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let cfg = DenseFileConfig::control1(32, 8, 48);
+        let mut f: DenseFile<u16, u8> = DenseFile::new(cfg).unwrap();
+        let mut model = BTreeMap::new();
+        check_against_model(&mut f, &mut model, &ops, 7);
+    }
+
+    /// CONTROL 1 without the density-gap assumption (out-of-contract
+    /// parameters): contents must still match even if redistribution has to
+    /// iterate.
+    #[test]
+    fn control1_tight_gap_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let cfg = DenseFileConfig::control1(32, 7, 9)
+            .with_macro_blocking(MacroBlocking::Disabled);
+        let mut f: DenseFile<u16, u8> = DenseFile::new(cfg).unwrap();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MOp::Insert(k, v) => {
+                    if model.contains_key(&k) || (model.len() as u64) < f.capacity() {
+                        assert_eq!(f.insert(k, v).unwrap(), model.insert(k, v));
+                    }
+                }
+                MOp::Remove(k) => assert_eq!(f.remove(&k), model.remove(&k)),
+                MOp::Get(k) => assert_eq!(f.get(&k), model.get(&k)),
+            }
+        }
+        let got: Vec<(u16, u8)> = f.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u8)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The B+-tree comparator.
+    #[test]
+    fn btree_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..500)) {
+        let mut t: BPlusTree<u16, u8> = BPlusTree::new(BTreeConfig::with_page_capacity(8)).unwrap();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MOp::Insert(k, v) => assert_eq!(t.insert(k, v), model.insert(k, v)),
+                MOp::Remove(k) => assert_eq!(t.remove(&k), model.remove(&k)),
+                MOp::Get(k) => assert_eq!(t.get(&k), model.get(&k)),
+            }
+        }
+        t.check_structure().map_err(TestCaseError::fail)?;
+        let got = t.collect_all();
+        let want: Vec<(u16, u8)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The amortized PMA baseline.
+    #[test]
+    fn pma_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut p: AmortizedPma<u16, u8> =
+            AmortizedPma::new(PmaConfig::for_pages(64, 16, 8)).unwrap();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MOp::Insert(k, v) => {
+                    if model.contains_key(&k) || (model.len() as u64) < p.capacity() {
+                        assert_eq!(p.insert(k, v).unwrap(), model.insert(k, v));
+                    }
+                }
+                MOp::Remove(k) => assert_eq!(p.remove(&k), model.remove(&k)),
+                MOp::Get(k) => assert_eq!(p.get(&k), model.get(&k)),
+            }
+        }
+        p.check_structure().map_err(TestCaseError::fail)?;
+        let mut got = Vec::new();
+        p.scan_from(&0, usize::MAX, |k, v| got.push((*k, *v)));
+        let want: Vec<(u16, u8)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The naive sequential file.
+    #[test]
+    fn naive_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut n: NaiveSequentialFile<u16, u8> = NaiveSequentialFile::new(8);
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                MOp::Insert(k, v) => assert_eq!(n.insert(k, v), model.insert(k, v)),
+                MOp::Remove(k) => assert_eq!(n.remove(&k), model.remove(&k)),
+                MOp::Get(k) => assert_eq!(n.get(&k), model.get(&k)),
+            }
+        }
+        let mut got = Vec::new();
+        n.scan_from(&0, usize::MAX, |k, v| got.push((*k, *v)));
+        let want: Vec<(u16, u8)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Range scans agree with the model over arbitrary bounds.
+    #[test]
+    fn range_scans_match_model(
+        keys in prop::collection::btree_set(any::<u16>(), 0..300),
+        a in any::<u16>(),
+        b in any::<u16>(),
+    ) {
+        let cfg = DenseFileConfig::control2(32, 16, 64);
+        let mut f: DenseFile<u16, u16> = DenseFile::new(cfg).unwrap();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            f.insert(k, k).unwrap();
+            model.insert(k, k);
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let got: Vec<u16> = f.range(lo..hi).map(|(k, _)| *k).collect();
+        let want: Vec<u16> = model.range(lo..hi).map(|(k, _)| *k).collect();
+        prop_assert_eq!(got, want);
+        let got: Vec<u16> = f.range(lo..=hi).map(|(k, _)| *k).collect();
+        let want: Vec<u16> = model.range(lo..=hi).map(|(k, _)| *k).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,266 @@
+//! Deeper property tests: the exact integer threshold arithmetic, the
+//! search augmentation, order statistics, reverse scans, and snapshot
+//! round-trips — each against an independent reference model.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use willard_dsf::core_::calibrator::Calibrator;
+use willard_dsf::core_::{ceil_log2, NodeId};
+use willard_dsf::{DenseFile, DenseFileConfig};
+
+// ---------------------------------------------------------------------
+// Calibrator arithmetic vs a rational reference.
+// ---------------------------------------------------------------------
+
+/// Reference comparison of p(v) against g(v, q/3) using exact rational
+/// arithmetic built independently (i128 cross-multiplication done the
+/// "obvious" way, without the calibrator's factored form).
+fn reference_cmp(
+    count: u64,
+    width: u64,
+    depth: u32,
+    l: u32,
+    dmin: u64,
+    dmax: u64,
+    q: u8,
+) -> std::cmp::Ordering {
+    // p = count/width;  g = dmin + (3·depth + q − 3)/(3L) · (dmax − dmin)
+    // p ⋚ g  ⟺  3L·count ⋚ width·(3L·dmin + (3·depth+q−3)(dmax−dmin))
+    let lhs = 3i128 * i128::from(l) * i128::from(count);
+    let rhs = i128::from(width)
+        * (3 * i128::from(l) * i128::from(dmin)
+            + (3 * i128::from(depth) + i128::from(q) - 3) * i128::from(dmax - dmin));
+    lhs.cmp(&rhs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The calibrator's threshold comparisons agree with the reference and
+    /// with a float evaluation (where the float is not borderline).
+    #[test]
+    fn threshold_arithmetic_is_exact(
+        slots in 1u32..600,
+        dmin in 1u64..200,
+        gap in 1u64..300,
+        fills in prop::collection::vec(0u64..400, 1..40),
+    ) {
+        let dmax = dmin + gap;
+        let mut cal: Calibrator<u64> = Calibrator::new(slots, dmin, dmax);
+        for (i, &n) in fills.iter().enumerate() {
+            let s = (i as u32 * 7919) % slots;
+            cal.set_leaf_raw(s, n, if n > 0 { Some(u64::from(s)) } else { None });
+        }
+        cal.recompute_subtree(NodeId::ROOT);
+        let l = ceil_log2(slots).max(1);
+        for n in cal.all_nodes() {
+            for q in 0..=3u8 {
+                let got = cal.density_cmp(n, q);
+                let want = reference_cmp(cal.count(n), cal.width(n), n.depth(), l, dmin, dmax, q);
+                prop_assert_eq!(got, want, "node {:?} q {}", n, q);
+
+                // Float cross-check away from the boundary.
+                let p = cal.count(n) as f64 / cal.width(n) as f64;
+                let g = dmin as f64
+                    + (n.depth() as f64 + q as f64 / 3.0 - 1.0) / l as f64 * gap as f64;
+                if (p - g).abs() > 1e-6 * (1.0 + g.abs()) {
+                    prop_assert_eq!(got == std::cmp::Ordering::Greater, p > g);
+                }
+            }
+        }
+    }
+
+    /// `records_until_ge(n, q)` is the least t making `p ≥ g(·, q/3)`.
+    #[test]
+    fn records_until_ge_is_minimal(
+        slots in 2u32..300,
+        dmin in 1u64..100,
+        gap in 1u64..200,
+        count in 0u64..5000,
+        q in 0u8..=3,
+    ) {
+        let dmax = dmin + gap;
+        let mut cal: Calibrator<u64> = Calibrator::new(slots, dmin, dmax);
+        cal.set_leaf_raw(0, count, Some(1));
+        cal.recompute_subtree(NodeId::ROOT);
+        for n in [cal.leaf_of(0), NodeId::ROOT] {
+            let t = cal.records_until_ge(n, q);
+            // Simulate adding t (and t−1) records.
+            let l = ceil_log2(slots).max(1);
+            let at_t = reference_cmp(cal.count(n) + t, cal.width(n), n.depth(), l, dmin, dmax, q);
+            prop_assert_ne!(at_t, std::cmp::Ordering::Less, "t={} too small", t);
+            if t > 0 {
+                let at_tm1 = reference_cmp(
+                    cal.count(n) + t - 1, cal.width(n), n.depth(), l, dmin, dmax, q);
+                prop_assert_eq!(at_tm1, std::cmp::Ordering::Less, "t={} not minimal", t);
+            }
+        }
+    }
+
+    /// `find_slot` returns the slot of the greatest record ≤ key (reference:
+    /// linear scan of a mirrored layout).
+    #[test]
+    fn find_slot_matches_linear_reference(
+        slots in 1u32..64,
+        keysets in prop::collection::btree_set(0u64..500, 0..60),
+        probe in 0u64..600,
+    ) {
+        let mut cal: Calibrator<u64> = Calibrator::new(slots, 1, 1000);
+        // Distribute the sorted keys over slots deterministically.
+        let keys: Vec<u64> = keysets.into_iter().collect();
+        let mut layout: Vec<Vec<u64>> = vec![Vec::new(); slots as usize];
+        for (i, &k) in keys.iter().enumerate() {
+            layout[(i * slots as usize) / keys.len().max(1)].push(k);
+        }
+        for (s, ks) in layout.iter().enumerate() {
+            cal.set_leaf_raw(s as u32, ks.len() as u64, ks.first().copied());
+        }
+        cal.recompute_subtree(NodeId::ROOT);
+
+        let got = cal.find_slot(&probe);
+        // Reference: the slot holding the greatest key ≤ probe.
+        let mut want: Option<u32> = None;
+        for (s, ks) in layout.iter().enumerate() {
+            if ks.iter().any(|&k| k <= probe) {
+                want = Some(s as u32);
+            }
+        }
+        if let Some(w) = want {
+            prop_assert_eq!(got, w);
+        } else {
+            // No record ≤ probe: any slot before the first record is legal.
+            let first_nonempty = layout.iter().position(|ks| !ks.is_empty());
+            if let Some(fne) = first_nonempty {
+                prop_assert!(got <= fne as u32, "got {} first_nonempty {}", got, fne);
+            }
+        }
+    }
+
+    /// rank/select/count_range agree with a BTreeMap model after arbitrary
+    /// update histories.
+    #[test]
+    fn order_statistics_match_model(
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 1..250),
+        probes in prop::collection::vec(any::<u16>(), 1..20),
+    ) {
+        let mut f: DenseFile<u16, u16> =
+            DenseFile::new(DenseFileConfig::control2(32, 8, 48)).unwrap();
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+        for &(k, ins) in &ops {
+            if ins {
+                if model.contains_key(&k) || (model.len() as u64) < f.capacity() {
+                    f.insert(k, k).unwrap();
+                    model.insert(k, k);
+                }
+            } else {
+                assert_eq!(f.remove(&k).is_some(), model.remove(&k).is_some());
+            }
+        }
+        for &p in &probes {
+            let want_rank = model.range(..p).count() as u64;
+            prop_assert_eq!(f.rank(&p), want_rank, "rank({})", p);
+        }
+        for r in 0..model.len() as u64 {
+            let want = model.iter().nth(r as usize).map(|(k, _)| *k).unwrap();
+            prop_assert_eq!(*f.select_nth(r).unwrap().0, want, "select({})", r);
+        }
+        prop_assert_eq!(f.select_nth(model.len() as u64), None);
+        if probes.len() >= 2 {
+            let (a, b) = (probes[0].min(probes[1]), probes[0].max(probes[1]));
+            prop_assert_eq!(f.count_range(a..b), model.range(a..b).count() as u64);
+        }
+    }
+
+    /// Reverse scans mirror forward scans over arbitrary bounds.
+    #[test]
+    fn reverse_scans_mirror_forward(
+        keys in prop::collection::btree_set(any::<u16>(), 0..200),
+        a in any::<u16>(),
+        b in any::<u16>(),
+    ) {
+        let mut f: DenseFile<u16, u16> =
+            DenseFile::new(DenseFileConfig::control2(32, 8, 48)).unwrap();
+        for &k in &keys {
+            f.insert(k, k).unwrap();
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let fwd: Vec<u16> = f.range(lo..=hi).map(|(k, _)| *k).collect();
+        let mut rev: Vec<u16> = f.range_rev(lo..=hi).map(|(k, _)| *k).collect();
+        rev.reverse();
+        prop_assert_eq!(fwd, rev);
+        let fwd: Vec<u16> = f.iter().map(|(k, _)| *k).collect();
+        let mut rev: Vec<u16> = f.iter_rev().map(|(k, _)| *k).collect();
+        rev.reverse();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// The record SET is independent of J and of the algorithm: maintenance
+    /// may move records between pages but never changes membership.
+    #[test]
+    fn contents_are_invariant_under_j_and_algorithm(
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 1..200),
+    ) {
+        let configs = [
+            DenseFileConfig::control2(32, 8, 48).with_j(2),
+            DenseFileConfig::control2(32, 8, 48).with_j(7),
+            DenseFileConfig::control2(32, 8, 48).with_j(64),
+            DenseFileConfig::control1(32, 8, 48),
+        ];
+        let mut results: Vec<Vec<(u16, u16)>> = Vec::new();
+        for cfg in configs {
+            let mut f: DenseFile<u16, u16> = DenseFile::new(cfg).unwrap();
+            for &(k, ins) in &ops {
+                if ins {
+                    if f.contains_key(&k) || f.len() < f.capacity() {
+                        f.insert(k, k).unwrap();
+                    }
+                } else {
+                    f.remove(&k);
+                }
+            }
+            results.push(f.iter().map(|(k, v)| (*k, *v)).collect());
+        }
+        for r in &results[1..] {
+            prop_assert_eq!(r, &results[0]);
+        }
+    }
+
+    /// Arbitrary bytes fed to the snapshot decoder must error, never panic
+    /// or OOM (decode robustness).
+    #[test]
+    fn snapshot_decoder_never_panics_on_garbage(
+        mut bytes in prop::collection::vec(any::<u8>(), 0..600),
+        prefix_magic in any::<bool>(),
+    ) {
+        if prefix_magic && bytes.len() >= 4 {
+            bytes[..4].copy_from_slice(b"DSF1");
+        }
+        let _ = DenseFile::<u64, u64>::read_snapshot(&mut bytes.as_slice());
+        let _ = DenseFile::<u16, String>::read_snapshot(&mut bytes.as_slice());
+    }
+
+    /// Snapshots round-trip arbitrary contents and keep all invariants.
+    #[test]
+    fn snapshot_round_trips(
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 0..200),
+    ) {
+        let mut f: DenseFile<u16, u32> =
+            DenseFile::new(DenseFileConfig::control2(16, 8, 48)).unwrap();
+        for &(k, ins) in &ops {
+            if ins {
+                if f.contains_key(&k) || f.len() < f.capacity() {
+                    f.insert(k, u32::from(k)).unwrap();
+                }
+            } else {
+                f.remove(&k);
+            }
+        }
+        let mut bytes = Vec::new();
+        f.write_snapshot(&mut bytes).unwrap();
+        let g: DenseFile<u16, u32> = DenseFile::read_snapshot(&mut bytes.as_slice()).unwrap();
+        let a: Vec<(u16, u32)> = f.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(u16, u32)> = g.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(a, b);
+        g.check_invariants().map_err(|v| TestCaseError::fail(format!("{v:?}")))?;
+    }
+}

@@ -1,0 +1,51 @@
+//! A rolling time-series window driven for many multiples of the file's
+//! capacity: the contents slide right forever while the file keeps its
+//! worst-case bound — the retention workload a metrics store runs for
+//! months.
+
+use willard_dsf::{DenseFile, DenseFileConfig};
+
+#[test]
+fn window_slides_many_file_lifetimes() {
+    let cfg = DenseFileConfig::control2(64, 8, 40);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    // Start with a window filling 80% of capacity.
+    let window = f.capacity() * 8 / 10;
+    let step = 1u64 << 16;
+    f.bulk_load((0..window).map(|i| (i * step, i))).unwrap();
+
+    // Slide the window by 10× the file's capacity.
+    let slides = (f.capacity() * 10) as usize;
+    let ops = dsf_workloads::rolling_window(slides, 0, window * step, step);
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            dsf_workloads::Op::Insert(k) => {
+                f.insert(k, k).unwrap();
+            }
+            dsf_workloads::Op::Remove(k) => {
+                assert!(f.remove(&k).is_some(), "expired key {k} missing at op {i}");
+            }
+            _ => unreachable!(),
+        }
+        if i % 512 == 0 {
+            f.check_invariants()
+                .unwrap_or_else(|v| panic!("invariants broken at op {i}: {v:?}"));
+        }
+    }
+    f.check_invariants().unwrap();
+    assert_eq!(f.len(), window, "the window keeps constant size");
+
+    // The whole key population has been replaced ten times over; the worst
+    // command still respected the budget and the defensive path never fired.
+    let bound = 3 * u64::from(f.config().j) * u64::from(f.config().k) + 16;
+    assert!(
+        f.op_stats().max_accesses <= bound,
+        "worst {} exceeds {bound}",
+        f.op_stats().max_accesses
+    );
+    assert_eq!(f.op_stats().no_source_shifts, 0);
+
+    // And the survivors are exactly the last `window` appends.
+    let first_key = *f.first().unwrap().0;
+    assert_eq!(first_key, slides as u64 * step);
+}

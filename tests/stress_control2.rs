@@ -1,0 +1,143 @@
+//! Adversarial stress tests for CONTROL 2 — the empirical verification of
+//! Theorem 5.5: BALANCE(d,D) (hence (d,D)-density) holds at the end of
+//! every command, and the per-command page-access cost is bounded.
+
+use willard_dsf::{DenseFile, DenseFileConfig};
+
+/// Hammer inserts at a single point until the file is completely full,
+/// checking every invariant after every command.
+#[test]
+fn hammer_to_capacity_preserves_balance() {
+    let cfg = DenseFileConfig::control2(128, 8, 40); // L=7, gap=32 > 21
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    // Half-full uniform start.
+    f.bulk_load((0..512u64).map(|i| (i << 32, i))).unwrap();
+    f.check_invariants().unwrap();
+
+    let room = f.capacity() - f.len();
+    let keys = dsf_workloads::hammer(room as usize, 5 << 32, 1);
+    for (i, k) in keys.iter().enumerate() {
+        f.insert(*k, 0).unwrap();
+        if let Err(v) = f.check_invariants() {
+            panic!("invariants broken after hammer insert #{i}: {v:?}");
+        }
+    }
+    assert_eq!(f.len(), f.capacity());
+    assert_eq!(
+        f.op_stats().no_source_shifts,
+        0,
+        "the defensive no-source path must stay unused in contract"
+    );
+}
+
+/// The worst command under the hammer must respect the paper's bound with a
+/// small constant: c · log²M / (D−d) page accesses.
+#[test]
+fn worst_command_is_bounded_by_log_squared() {
+    for (pages, d, big_d) in [(64u32, 8u32, 40u32), (256, 8, 40), (1024, 8, 40)] {
+        let cfg = DenseFileConfig::control2(pages, d, big_d);
+        let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+        let prefill = f.capacity() / 2;
+        f.bulk_load((0..prefill).map(|i| (i << 32, i))).unwrap();
+        let room = (f.capacity() - f.len()) as usize;
+        for k in dsf_workloads::hammer(room, 5 << 32, 1) {
+            f.insert(k, 0).unwrap();
+        }
+        f.check_invariants().unwrap();
+        let l = f.config().log_slots as u64;
+        let gap = f.config().slot_max - f.config().slot_min;
+        let j = u64::from(f.config().j);
+        // Each of the J shifts touches O(1) slots (a slot is K pages); add
+        // the step-1 probe. The generous constant absorbs the macro factor.
+        let bound = 8 * j * u64::from(f.config().k) + 16;
+        let max = f.op_stats().max_accesses;
+        assert!(
+            max <= bound,
+            "M={pages}: worst command {max} exceeds {bound} (J={j}, L={l}, gap={gap})"
+        );
+    }
+}
+
+/// Deleting everything after the hammer leaves a consistent empty file.
+#[test]
+fn full_drain_after_hammer() {
+    let cfg = DenseFileConfig::control2(64, 8, 40);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    f.bulk_load((0..256u64).map(|i| (i << 32, i))).unwrap();
+    let room = (f.capacity() - f.len()) as usize;
+    let keys = dsf_workloads::hammer(room, 5 << 32, 1);
+    for k in &keys {
+        f.insert(*k, 0).unwrap();
+    }
+    // Drain in an order that mixes the hammered region and the backbone.
+    let mut all: Vec<u64> = f.iter().map(|(k, _)| *k).collect();
+    let n = all.len();
+    all = dsf_workloads::shuffled(99, all);
+    for (i, k) in all.iter().enumerate() {
+        assert!(f.remove(k).is_some(), "key {k} missing at drain step {i}");
+        if i % 16 == 0 {
+            f.check_invariants()
+                .unwrap_or_else(|v| panic!("invariants broken at drain step {i}: {v:?}"));
+        }
+    }
+    assert_eq!(n as u64, f.capacity());
+    assert!(f.is_empty());
+    f.check_invariants().unwrap();
+}
+
+/// CONTROL 2 in the macro-block regime (Theorem 5.7): a tiny density gap
+/// forces K > 1; the same guarantees must hold, and no physical page may
+/// exceed D records.
+#[test]
+fn macro_block_regime_preserves_density() {
+    let cfg = DenseFileConfig::control2(256, 6, 8); // gap 2 ≤ 3·log → K > 1
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    assert!(f.config().k > 1, "expected macro-blocking, got K=1");
+    assert!(f.config().meets_gap_assumption);
+
+    f.bulk_load((0..600u64).map(|i| (i << 32, i))).unwrap();
+    f.check_invariants().unwrap();
+    let room = (f.capacity() - f.len()) as usize;
+    for (i, k) in dsf_workloads::hammer(room, 5 << 32, 1)
+        .into_iter()
+        .enumerate()
+    {
+        f.insert(k, 0).unwrap();
+        if i % 32 == 0 {
+            f.check_invariants()
+                .unwrap_or_else(|v| panic!("macro-block invariants broken at #{i}: {v:?}"));
+        }
+    }
+    f.check_invariants().unwrap();
+    // Physical page capacity: every slot holds ≤ K·D records packed at ≤ D
+    // per page, so pages_used ≤ K.
+    for s in 0..f.config().slots {
+        assert!(f.store().pages_used(s) <= f.config().k);
+        assert!(f.store().len(s) as u64 <= f.config().slot_max);
+    }
+    assert_eq!(f.op_stats().no_source_shifts, 0);
+}
+
+/// A uniform mixed insert/delete steady state holds invariants throughout.
+#[test]
+fn mixed_steady_state() {
+    let cfg = DenseFileConfig::control2(64, 16, 64);
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    let ops = dsf_workloads::mixed_ops(7, 6000, 0.55, 1 << 24);
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            dsf_workloads::Op::Insert(k) if f.len() < f.capacity() => {
+                f.insert(*k, *k).unwrap();
+            }
+            dsf_workloads::Op::Remove(k) => {
+                f.remove(k);
+            }
+            _ => {}
+        }
+        if i % 100 == 0 {
+            f.check_invariants()
+                .unwrap_or_else(|v| panic!("invariants broken at op #{i}: {v:?}"));
+        }
+    }
+    f.check_invariants().unwrap();
+}
