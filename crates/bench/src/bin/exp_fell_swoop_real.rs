@@ -1,0 +1,223 @@
+//! E9b — fell swoop, for real: physical run-coalesced I/O vs per-page I/O.
+//!
+//! `exp_fell_swoop` quantifies the paper's §4 remark ("CONTROL 2 … can be
+//! programmed to access adjacent pages in one fell swoop during its update
+//! task") with an LRU *simulation*. This experiment does it against a real
+//! on-disk [`PhysicalImage`]: it records the page trace of a J-shift-heavy
+//! insert workload, then replays that trace through a write-back
+//! [`BufferPool`] twice —
+//!
+//! * **per-page** (coalescing off): every pool miss issues a single-page
+//!   read syscall and every writeback/flush a single-page write syscall —
+//!   the historical one-page-at-a-time discipline;
+//! * **coalesced** (coalescing on): the trace's run log drives
+//!   [`BufferPool::fetch_run`], so each maximal stretch of missing pages
+//!   becomes one seek + one read syscall; eviction writebacks absorb the
+//!   adjacent dirty frames into the same write call, and the final flush
+//!   writes dirty pages in maximal contiguous runs.
+//!
+//! Both replays do the same logical work against the same image; the
+//! difference is purely how page transfers are batched. Reported per path:
+//! real syscalls (from [`IoReport`]), modelled milliseconds (the
+//! [`DiskModel`]'s seek/rotate/transfer parameters priced per physical
+//! call), and wall-clock. The run also cross-checks that the pool's
+//! hit/miss counters reconcile exactly with an [`LruCacheSim`] replay of
+//! the same trace at the same capacity.
+//!
+//! Run: `cargo run --release -p dsf-bench --bin exp_fell_swoop_real`
+//! (pass `--quick` for the CI-sized variant). Writes
+//! `BENCH_fell_swoop.json` into the current directory.
+
+use std::time::Instant;
+
+use dsf_core::{DenseFile, DenseFileConfig};
+use dsf_durable::{IoReport, PhysicalImage};
+use dsf_pagestore::disk::DiskModel;
+use dsf_pagestore::{AccessEvent, AccessKind, BufferPool, CacheStats, LruCacheSim, PageRun};
+
+/// Pool frames for both replay paths.
+const POOL_CAPACITY: usize = 32;
+/// Insert hot points; spread so the pool cannot hold every region at once.
+const HOT_POINTS: u64 = 8;
+
+struct PathResult {
+    label: &'static str,
+    io: IoReport,
+    stats: CacheStats,
+    modelled_ms: f64,
+    wall_ms: f64,
+}
+
+/// Prices an [`IoReport`] with the disk model's parameters: every syscall
+/// pays one seek + rotational latency, every page its transfer time.
+fn modelled_ms(m: &DiskModel, io: &IoReport) -> f64 {
+    io.seeks as f64 * (m.avg_seek_ms + m.rotational_latency_ms)
+        + (io.pages_read + io.pages_written) as f64 * m.transfer_ms_per_page
+}
+
+/// Builds the workload file and returns its recorded trace (events + runs).
+fn build_workload(pages: u32) -> (DenseFile<u64, u64>, Vec<AccessEvent>, Vec<PageRun>) {
+    let mut f: DenseFile<u64, u64> =
+        DenseFile::new(DenseFileConfig::control2(pages, 6, 8)).unwrap();
+    assert!(f.config().k > 1, "macro-block regime expected");
+    let capacity = f.capacity();
+    let backbone = capacity * 3 / 5;
+    let stride = u64::MAX / (backbone + 1);
+    f.bulk_load((0..backbone).map(|i| (i * stride, i))).unwrap();
+
+    // J-shift-heavy inserts: cycle over HOT_POINTS far-apart regions, each
+    // insert landing in an already-dense neighbourhood so CONTROL 2 runs
+    // its multi-page SHIFT sweeps; cycling defeats the pool's recency so
+    // revisits refault whole spans.
+    f.io_trace().set_enabled(true);
+    let budget = capacity - backbone - HOT_POINTS;
+    let mut inserted = 0u64;
+    'outer: for round in 0..budget {
+        for h in 0..HOT_POINTS {
+            let region = (h + 1) * (backbone / (HOT_POINTS + 1)) * stride;
+            let key = region + round * 37 + h + 1;
+            match f.insert(key, round) {
+                Ok(_) => inserted += 1,
+                Err(_) => break 'outer,
+            }
+            if inserted >= budget {
+                break 'outer;
+            }
+        }
+    }
+    let events = f.io_trace().take();
+    let runs = f.io_trace().take_runs();
+    f.io_trace().set_enabled(false);
+    assert!(!events.is_empty());
+    (f, events, runs)
+}
+
+fn replay_per_page(img: PhysicalImage, events: &[AccessEvent]) -> PathResult {
+    let mut pool = BufferPool::new(img, POOL_CAPACITY);
+    pool.set_coalescing(false);
+    let start = Instant::now();
+    let stats = pool.replay(events).unwrap();
+    pool.flush_all().unwrap();
+    let mut img = pool.into_backend().unwrap();
+    img.sync().unwrap();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let io = img.io_totals();
+    PathResult {
+        label: "per-page",
+        io,
+        stats,
+        modelled_ms: modelled_ms(&DiskModel::modern_hdd(), &io),
+        wall_ms,
+    }
+}
+
+fn replay_coalesced(img: PhysicalImage, runs: &[PageRun]) -> PathResult {
+    let mut pool = BufferPool::new(img, POOL_CAPACITY);
+    let start = Instant::now();
+    for run in runs {
+        pool.fetch_run(run.start, run.len).unwrap();
+        if run.kind == AccessKind::Write {
+            for page in run.start..run.end() {
+                pool.get_mut(page).unwrap();
+            }
+        }
+    }
+    pool.flush_all().unwrap();
+    let stats = pool.stats().as_cache_stats();
+    let mut img = pool.into_backend().unwrap();
+    img.sync().unwrap();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let io = img.io_totals();
+    PathResult {
+        label: "coalesced",
+        io,
+        stats,
+        modelled_ms: modelled_ms(&DiskModel::modern_hdd(), &io),
+        wall_ms,
+    }
+}
+
+fn report_line(r: &PathResult) {
+    println!(
+        "  {:<9}  {:>8} syscalls ({:>7} rd, {:>6} wr)  {:>9} pages  {:>10.1} modelled ms  {:>8.1} wall ms",
+        r.label,
+        r.io.io_calls(),
+        r.io.read_calls,
+        r.io.write_calls,
+        r.io.pages_read + r.io.pages_written,
+        r.modelled_ms,
+        r.wall_ms,
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let pages: u32 = if quick { 256 } else { 1024 };
+
+    println!("E9b — fell-swoop physical I/O (M={pages}, d=6, D=8, pool={POOL_CAPACITY} frames)");
+    let (dense, events, runs) = build_workload(pages);
+    println!(
+        "workload: {} logical page accesses, coalesced into {} runs ({:.1}× fold)",
+        events.len(),
+        runs.len(),
+        events.len() as f64 / runs.len() as f64
+    );
+
+    // The on-disk image both replay paths run against.
+    let path = std::env::temp_dir().join(format!("dsf-fell-swoop-{}.img", std::process::id()));
+    PhysicalImage::create(&dense, &path, 4096).unwrap();
+
+    let per_page = replay_per_page(PhysicalImage::open_rw(&path).unwrap(), &events);
+    let coalesced = replay_coalesced(PhysicalImage::open_rw(&path).unwrap(), &runs);
+    std::fs::remove_file(&path).ok();
+    report_line(&per_page);
+    report_line(&coalesced);
+
+    let call_ratio = per_page.io.io_calls() as f64 / coalesced.io.io_calls() as f64;
+    let ms_ratio = per_page.modelled_ms / coalesced.modelled_ms;
+    println!(
+        "\nfell swoop: {call_ratio:.1}× fewer physical I/O syscalls, {ms_ratio:.1}× lower modelled time"
+    );
+    assert!(
+        call_ratio >= 2.0,
+        "expected ≥2× syscall reduction, got {call_ratio:.2}×"
+    );
+    assert!(
+        ms_ratio > 1.0,
+        "expected lower modelled ms, got {ms_ratio:.2}×"
+    );
+
+    // Counter reconciliation: the pool's policy is the simulator's policy.
+    let sim = LruCacheSim::new(POOL_CAPACITY).replay(&events);
+    assert_eq!(
+        per_page.stats, sim,
+        "BufferPool counters must reconcile with LruCacheSim replay"
+    );
+    assert_eq!(sim.hits + sim.misses, sim.accesses);
+    println!(
+        "reconciled: pool {{hits {}, misses {}}} == LruCacheSim at capacity {POOL_CAPACITY}",
+        sim.hits, sim.misses
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fell_swoop_real\",\n  \"quick\": {quick},\n  \"m_pages\": {pages},\n  \"pool_frames\": {POOL_CAPACITY},\n  \"logical_accesses\": {},\n  \"logical_runs\": {},\n  \"per_page\": {{ \"io_calls\": {}, \"read_calls\": {}, \"write_calls\": {}, \"pages_moved\": {}, \"modelled_ms\": {:.2}, \"wall_ms\": {:.2} }},\n  \"coalesced\": {{ \"io_calls\": {}, \"read_calls\": {}, \"write_calls\": {}, \"pages_moved\": {}, \"modelled_ms\": {:.2}, \"wall_ms\": {:.2} }},\n  \"io_call_ratio\": {:.2},\n  \"modelled_ms_ratio\": {:.2},\n  \"pool_reconciles_with_sim\": true\n}}\n",
+        events.len(),
+        runs.len(),
+        per_page.io.io_calls(),
+        per_page.io.read_calls,
+        per_page.io.write_calls,
+        per_page.io.pages_read + per_page.io.pages_written,
+        per_page.modelled_ms,
+        per_page.wall_ms,
+        coalesced.io.io_calls(),
+        coalesced.io.read_calls,
+        coalesced.io.write_calls,
+        coalesced.io.pages_read + coalesced.io.pages_written,
+        coalesced.modelled_ms,
+        coalesced.wall_ms,
+        call_ratio,
+        ms_ratio,
+    );
+    std::fs::write("BENCH_fell_swoop.json", json).unwrap();
+    println!("wrote BENCH_fell_swoop.json");
+}

@@ -9,7 +9,7 @@
 
 use std::ops::Bound;
 
-use dsf_pagestore::{Key, Record};
+use dsf_pagestore::{AccessKind, Key, PageRun, Record, RunCoalescer};
 
 use crate::file::DenseFile;
 
@@ -312,6 +312,57 @@ impl<K: Key, V> DenseFile<K, V> {
             range.end_bound().cloned(),
         )
     }
+
+    /// Plans the physical page runs a retrieval of `[lo, hi]` may touch,
+    /// using **resident metadata only** (the calibrator plus per-slot page
+    /// counts) — no page access is charged.
+    ///
+    /// The result is a conservative cover: maximal runs of consecutive
+    /// global pages spanning every used page of every slot the range
+    /// intersects, plus the first page of the following slot (where a
+    /// forward scan discovers it has passed `hi`). These are the prefetch
+    /// hints for a fell-swoop physical layer — each run maps to one
+    /// `BufferPool::fetch_run` / one sequential read, instead of the
+    /// page-at-a-time faults the scan would otherwise take.
+    pub fn range_runs(&self, lo: &K, hi: &K) -> Vec<PageRun> {
+        if self.is_empty() || lo > hi {
+            return Vec::new();
+        }
+        let k = u64::from(self.cfg.k);
+        let s_lo = self.cal.find_slot(lo);
+        let s_hi = self.cal.find_slot(hi);
+        let mut coalescer = RunCoalescer::new();
+        let mut runs = Vec::new();
+        for s in s_lo..=s_hi {
+            let used = u64::from(self.store.pages_used(s));
+            if used == 0 {
+                continue;
+            }
+            if let Some(run) = coalescer.push_run(u64::from(s) * k, used, AccessKind::Read) {
+                runs.push(run);
+            }
+        }
+        // The stop page: a forward scan reads one page past the range to
+        // see a key > hi.
+        if s_hi < self.cfg.slots - 1 {
+            if let Some(s) = self.cal.next_nonempty(s_hi + 1, self.cfg.slots - 1) {
+                if let Some(run) = coalescer.push_run(u64::from(s) * k, 1, AccessKind::Read) {
+                    runs.push(run);
+                }
+            }
+        }
+        runs.extend(coalescer.finish());
+        runs
+    }
+
+    /// Drains the trace's coalesced run log (see
+    /// [`dsf_pagestore::TraceBuffer::take_runs`]): the maximal contiguous
+    /// page runs of every access recorded since the last drain. SHIFT
+    /// sweeps and scans show up here as a handful of runs rather than a
+    /// page-by-page stream.
+    pub fn io_runs(&self) -> Vec<PageRun> {
+        self.io_trace().take_runs()
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +497,91 @@ mod tests {
         let f: DenseFile<u64, u64> = DenseFile::new(DenseFileConfig::control2(8, 2, 16)).unwrap();
         assert_eq!(f.iter_rev().count(), 0);
         assert_eq!(f.range_rev(1..9).count(), 0);
+    }
+
+    #[test]
+    fn full_scan_coalesces_to_a_single_run() {
+        // 64 slots, one page each, all populated: the scan's page stream is
+        // 0,1,…,63 and the run log folds it into exactly one fell swoop.
+        let f = loaded(500);
+        assert_eq!(f.config().k, 1);
+        f.io_trace().set_enabled(true);
+        assert_eq!(f.iter().count(), 500);
+        let runs = f.io_runs();
+        f.io_trace().set_enabled(false);
+        assert_eq!(runs.len(), 1, "runs: {runs:?}");
+        assert_eq!(runs[0].start, 0);
+        assert_eq!(runs[0].len, 64);
+    }
+
+    #[test]
+    fn shift_heavy_inserts_coalesce_their_write_spans() {
+        // Macro-block mode: every charged span covers whole stretches of a
+        // slot's K pages, so the run log must be much shorter than the
+        // event log.
+        let mut f: DenseFile<u64, u64> =
+            DenseFile::new(DenseFileConfig::control2(64, 6, 8)).unwrap();
+        assert!(f.config().k > 1, "macro-block regime expected");
+        f.bulk_load((0..300u64).map(|i| (i * 4, i))).unwrap();
+        f.io_trace().set_enabled(true);
+        for i in 0..100u64 {
+            f.insert(i * 8 + 1, i).unwrap();
+        }
+        let events = f.io_trace().take();
+        let runs = f.io_runs();
+        f.io_trace().set_enabled(false);
+        assert!(!events.is_empty());
+        let covered: u64 = runs.iter().map(|r| r.len).sum();
+        assert_eq!(covered, events.len() as u64, "runs cover every event");
+        assert!(
+            runs.len() * 2 <= events.len(),
+            "expected ≥2× coalescing, got {} runs over {} events",
+            runs.len(),
+            events.len()
+        );
+    }
+
+    #[test]
+    fn range_runs_cover_what_the_scan_touches() {
+        let mut f = loaded(100); // keys 0,10,…,990
+        for i in 0..40u64 {
+            f.insert(i * 20 + 5, i).unwrap();
+        }
+        let planned = f.range_runs(&250, &510);
+        assert!(!planned.is_empty());
+        // Planned runs are disjoint, ascending, and coalesced (no two
+        // adjacent runs touch).
+        for w in planned.windows(2) {
+            assert!(w[0].end() < w[1].start, "not coalesced: {planned:?}");
+        }
+        // Every page the real scan reads is inside some planned run.
+        f.io_trace().clear();
+        f.io_trace().set_enabled(true);
+        let want: Vec<u64> = f.range(250..=510).map(|(k, _)| *k).collect();
+        let trace = f.io_trace().take();
+        f.io_trace().set_enabled(false);
+        assert!(!want.is_empty());
+        for ev in &trace {
+            assert!(
+                planned.iter().any(|r| r.contains(ev.page)),
+                "page {} outside planned runs {planned:?}",
+                ev.page
+            );
+        }
+        // And the plan is itself small: a dense range maps to few swoops.
+        assert!(planned.len() <= 3, "planned: {planned:?}");
+    }
+
+    #[test]
+    fn range_runs_edge_cases() {
+        let empty: DenseFile<u64, u64> =
+            DenseFile::new(DenseFileConfig::control2(8, 2, 16)).unwrap();
+        assert!(empty.range_runs(&0, &100).is_empty());
+        let f = loaded(100);
+        assert!(f.range_runs(&50, &40).is_empty(), "inverted range");
+        // A range past every key still yields at most the tail slot pages.
+        let tail = f.range_runs(&100_000, &200_000);
+        assert!(tail.len() <= 1, "tail: {tail:?}");
     }
 
     #[test]

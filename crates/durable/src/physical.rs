@@ -52,7 +52,7 @@ pub struct ImageHeader {
     pub algorithm: u32,
 }
 
-/// Byte-level statistics of one physical read operation.
+/// Byte-level statistics of one physical I/O operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoReport {
     /// Pages read from the image.
@@ -61,7 +61,44 @@ pub struct IoReport {
     pub seeks: u64,
     /// Bytes read.
     pub bytes_read: u64,
+    /// `read` syscalls issued. A coalesced run of `n` pages is one call;
+    /// the per-page path issues `n`.
+    pub read_calls: u64,
+    /// Pages written to the image.
+    pub pages_written: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// `write` syscalls issued.
+    pub write_calls: u64,
 }
+
+impl IoReport {
+    /// Total read + write syscalls (the fell-swoop figure of merit).
+    pub fn io_calls(&self) -> u64 {
+        self.read_calls + self.write_calls
+    }
+
+    /// Adds another report's counters into this one.
+    pub fn absorb(&mut self, other: &IoReport) {
+        self.pages_read += other.pages_read;
+        self.seeks += other.seeks;
+        self.bytes_read += other.bytes_read;
+        self.read_calls += other.read_calls;
+        self.pages_written += other.pages_written;
+        self.bytes_written += other.bytes_written;
+        self.write_calls += other.write_calls;
+    }
+}
+
+/// Pages moved per coalesced transfer: bounds run-buffer memory (with 4 KiB
+/// pages a run buffer is ≤ 256 KiB) and, for range streams, the worst-case
+/// over-read past the last in-range page.
+const RUN_PAGES: usize = 64;
+
+/// Lookahead for range streams, kept small because a stream stops as soon as
+/// it sees a key past the range end: reading far ahead would charge pages
+/// the per-page path never touches.
+const STREAM_RUN_PAGES: usize = 4;
 
 /// A dense file stored on disk in physical page layout.
 #[derive(Debug)]
@@ -72,6 +109,11 @@ pub struct PhysicalImage {
     header_pages: u64,
     /// Populated data pages, ascending (decoded from the directory bitmap).
     populated: Vec<u64>,
+    /// Whether the file handle permits `write_pages`.
+    writable: bool,
+    /// Lifetime I/O counters for the raw page interface (the
+    /// [`dsf_pagestore::PageBackend`] impl), accumulated across calls.
+    io: IoReport,
 }
 
 impl PhysicalImage {
@@ -147,7 +189,10 @@ impl PhysicalImage {
         out.write_all(&hbuf)?;
 
         // Data pages: each physical page carries (count, records..., crc),
-        // zero-padded to page_size.
+        // zero-padded to page_size. Pages are accumulated into run-sized
+        // buffers so the image is written with one syscall per RUN_PAGES
+        // pages instead of one per page.
+        let mut run = Vec::with_capacity(RUN_PAGES * page_size as usize);
         for slot in 0..cfg.slots {
             for page in 0..cfg.k {
                 let recs = dense.store().read_page(slot, page);
@@ -165,8 +210,15 @@ impl PhysicalImage {
                     ))));
                 }
                 body.resize(page_size as usize, 0);
-                out.write_all(&body)?;
+                run.extend_from_slice(&body);
+                if run.len() >= RUN_PAGES * page_size as usize {
+                    out.write_all(&run)?;
+                    run.clear();
+                }
             }
+        }
+        if !run.is_empty() {
+            out.write_all(&run)?;
         }
         out.sync_all()?;
         drop(out);
@@ -175,7 +227,21 @@ impl PhysicalImage {
 
     /// Opens an image for physical reads; loads the page directory.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, DurableError> {
-        let mut file = File::open(path.as_ref())?;
+        let file = File::open(path.as_ref())?;
+        Self::from_file(file, false)
+    }
+
+    /// Opens an image for reads *and* raw page writes (the
+    /// [`dsf_pagestore::PageBackend`] interface used by a write-back buffer pool).
+    pub fn open_rw<P: AsRef<Path>>(path: P) -> Result<Self, DurableError> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
+        Self::from_file(file, true)
+    }
+
+    fn from_file(mut file: File, writable: bool) -> Result<Self, DurableError> {
         let mut fixed = vec![0u8; 8 + 8 * 4];
         file.read_exact(&mut fixed)?;
         if &fixed[..8] != MAGIC {
@@ -227,6 +293,8 @@ impl PhysicalImage {
             header,
             header_pages,
             populated,
+            writable,
+            io: IoReport::default(),
         })
     }
 
@@ -249,24 +317,36 @@ impl PhysicalImage {
         &self.populated
     }
 
-    /// Reads one physical page's records.
-    fn read_page<K: Key + Codec, V: Codec>(
+    /// Reads `n` consecutive raw pages starting at `first` in **one fell
+    /// swoop**: at most one seek plus exactly one read syscall.
+    fn read_pages_raw(
         &mut self,
-        page: u64,
+        first: u64,
+        n: usize,
         report: &mut IoReport,
         expect_seek: bool,
-    ) -> Result<Vec<(K, V)>, DurableError> {
+    ) -> Result<Vec<u8>, DurableError> {
+        let ps = self.header.page_size as usize;
         if expect_seek {
-            self.file.seek(SeekFrom::Start(self.page_offset(page)))?;
+            self.file.seek(SeekFrom::Start(self.page_offset(first)))?;
             report.seeks += 1;
         }
-        let mut buf = vec![0u8; self.header.page_size as usize];
+        let mut buf = vec![0u8; n * ps];
         self.file.read_exact(&mut buf)?;
-        report.pages_read += 1;
-        report.bytes_read += u64::from(self.header.page_size);
-        let mut input = buf.as_slice();
+        report.read_calls += 1;
+        report.pages_read += n as u64;
+        report.bytes_read += (n * ps) as u64;
+        Ok(buf)
+    }
+
+    /// Decodes one raw page image into its records, verifying the page CRC.
+    fn decode_page<K: Key + Codec, V: Codec>(
+        buf: &[u8],
+        page_capacity: u32,
+    ) -> Result<Vec<(K, V)>, DurableError> {
+        let mut input = buf;
         let n = u32::decode(&mut input).map_err(DurableError::Snapshot)?;
-        if n > self.header.page_capacity + 1 {
+        if n > page_capacity + 1 {
             return Err(DurableError::Snapshot(SnapshotError::Corrupt(
                 "page over-full",
             )));
@@ -284,6 +364,17 @@ impl PhysicalImage {
             return Err(DurableError::Snapshot(SnapshotError::ChecksumMismatch));
         }
         Ok(out)
+    }
+
+    /// Reads one physical page's records.
+    fn read_page<K: Key + Codec, V: Codec>(
+        &mut self,
+        page: u64,
+        report: &mut IoReport,
+        expect_seek: bool,
+    ) -> Result<Vec<(K, V)>, DurableError> {
+        let buf = self.read_pages_raw(page, 1, report, expect_seek)?;
+        Self::decode_page(&buf, self.header.page_capacity)
     }
 
     /// First key of populated page index `i` (one seek + read).
@@ -327,28 +418,38 @@ impl PhysicalImage {
                 b = mid;
             }
         }
-        // Forward sweep over populated pages; physically contiguous
-        // neighbours continue without a seek.
+        // Forward sweep over populated pages, coalesced: each maximal
+        // stretch of physically contiguous populated pages (capped at
+        // STREAM_RUN_PAGES of lookahead) is read with one syscall, and
+        // contiguous successor runs continue without a seek.
+        let ps = self.header.page_size as usize;
         let mut out = Vec::new();
         let mut prev_page: Option<u64> = None;
-        for i in start..n {
-            let page = self.populated[i];
-            let seek = prev_page != Some(page.wrapping_sub(1));
-            let recs = self.read_page::<K, V>(page, &mut report, seek)?;
-            prev_page = Some(page);
-            let mut past_end = false;
-            for (k, v) in recs {
-                if k > hi {
-                    past_end = true;
-                    break;
-                }
-                if k >= lo {
-                    out.push((k, v));
+        let mut i = start;
+        'sweep: while i < n {
+            let first = self.populated[i];
+            let mut j = i + 1;
+            while j < n
+                && j - i < STREAM_RUN_PAGES
+                && self.populated[j] == self.populated[j - 1] + 1
+            {
+                j += 1;
+            }
+            let seek = prev_page != Some(first.wrapping_sub(1));
+            let buf = self.read_pages_raw(first, j - i, &mut report, seek)?;
+            prev_page = Some(first + (j - i) as u64 - 1);
+            for page_buf in buf.chunks_exact(ps) {
+                let recs = Self::decode_page::<K, V>(page_buf, self.header.page_capacity)?;
+                for (k, v) in recs {
+                    if k > hi {
+                        break 'sweep;
+                    }
+                    if k >= lo {
+                        out.push((k, v));
+                    }
                 }
             }
-            if past_end {
-                break;
-            }
+            i = j;
         }
         Ok((out, report))
     }
@@ -380,20 +481,114 @@ impl PhysicalImage {
             dsf_core::Algorithm::Control2
         };
         let mut file: DenseFile<K, V> = DenseFile::new(config)?;
-        let mut layout: Vec<Vec<(K, V)>> = Vec::with_capacity(h.slots as usize);
+        let mut layout: Vec<Vec<(K, V)>> = (0..h.slots).map(|_| Vec::new()).collect();
         let mut report = IoReport::default();
-        self.file.seek(SeekFrom::Start(self.page_offset(0)))?;
-        for slot in 0..h.slots {
-            let mut recs = Vec::new();
-            for page in 0..h.k {
-                let global = u64::from(slot) * u64::from(h.k) + u64::from(page);
-                recs.extend(self.read_page::<K, V>(global, &mut report, false)?);
+        // One initial seek, then the whole image streams in RUN_PAGES-sized
+        // reads: ceil(M / RUN_PAGES) syscalls instead of M.
+        let total = self.pages();
+        let ps = h.page_size as usize;
+        let mut page = 0u64;
+        let mut first_read = true;
+        while page < total {
+            let n = RUN_PAGES.min((total - page) as usize);
+            let buf = self.read_pages_raw(page, n, &mut report, first_read)?;
+            first_read = false;
+            for page_buf in buf.chunks_exact(ps) {
+                let slot = (page / u64::from(h.k)) as usize;
+                layout[slot].extend(Self::decode_page::<K, V>(page_buf, h.page_capacity)?);
+                page += 1;
             }
-            layout.push(recs);
         }
         file.bulk_load_per_slot(layout)
             .map_err(DurableError::File)?;
         Ok(file)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw page interface (the `PageBackend` impl): whole raw page images,
+    // one seek + one syscall per run, counters accumulated in `self.io`.
+    // ------------------------------------------------------------------
+
+    /// Lifetime I/O counters of the raw page interface.
+    pub fn io_totals(&self) -> IoReport {
+        self.io
+    }
+
+    /// Resets the raw-interface counters.
+    pub fn reset_io(&mut self) {
+        self.io = IoReport::default();
+    }
+
+    /// Reads `buf.len() / page_size` consecutive raw page images starting
+    /// at data page `first` with one seek + one read syscall.
+    pub fn read_pages(&mut self, first: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        let ps = self.header.page_size as usize;
+        assert_eq!(buf.len() % ps, 0, "partial-page read");
+        let n = (buf.len() / ps) as u64;
+        if first + n > self.pages() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "page run past end of image",
+            ));
+        }
+        self.file.seek(SeekFrom::Start(self.page_offset(first)))?;
+        self.file.read_exact(buf)?;
+        self.io.seeks += 1;
+        self.io.read_calls += 1;
+        self.io.pages_read += n;
+        self.io.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Writes `data.len() / page_size` consecutive raw page images starting
+    /// at data page `first` with one seek + one write syscall.
+    ///
+    /// This is a frame-level interface (for a write-back buffer pool): it
+    /// replaces page images wholesale and does **not** update the page
+    /// directory, so only pages already marked populated should gain
+    /// records this way. Requires [`PhysicalImage::open_rw`].
+    pub fn write_pages(&mut self, first: u64, data: &[u8]) -> std::io::Result<()> {
+        if !self.writable {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "image opened read-only; use open_rw",
+            ));
+        }
+        let ps = self.header.page_size as usize;
+        assert_eq!(data.len() % ps, 0, "partial-page write");
+        let n = (data.len() / ps) as u64;
+        if first + n > self.pages() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "page run past end of image",
+            ));
+        }
+        self.file.seek(SeekFrom::Start(self.page_offset(first)))?;
+        self.file.write_all(data)?;
+        self.io.seeks += 1;
+        self.io.write_calls += 1;
+        self.io.pages_written += n;
+        self.io.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes raw page writes to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+impl dsf_pagestore::PageBackend for PhysicalImage {
+    fn page_size(&self) -> usize {
+        self.header.page_size as usize
+    }
+
+    fn read_run(&mut self, first_page: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        self.read_pages(first_page, buf)
+    }
+
+    fn write_run(&mut self, first_page: u64, data: &[u8]) -> std::io::Result<()> {
+        self.write_pages(first_page, data)
     }
 }
 

@@ -7,10 +7,13 @@
 //! nearby pages over and over, so a tiny buffer pool absorbs most of them.
 //! This module replays an [`AccessEvent`] trace through an LRU cache of a
 //! given page capacity and reports hits/misses; the `exp_fell_swoop`
-//! experiment uses it to quantify the remark.
+//! experiment uses it to quantify the remark, and [`crate::BufferPool`]
+//! reuses the identical recency/eviction policy for real page frames so the
+//! two report the same miss counts on the same trace.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
+use crate::lru::LruList;
 use crate::trace::AccessEvent;
 
 /// Result of replaying a trace through [`LruCacheSim`].
@@ -39,6 +42,10 @@ impl CacheStats {
 
 /// A least-recently-used buffer pool of fixed page capacity.
 ///
+/// Internally a hash map plus an O(1) intrusive linked list
+/// (`crate::lru::LruList`); every `touch` is constant time, where the old
+/// implementation paid an extra `BTreeMap` rebalance per access.
+///
 /// ```
 /// use dsf_pagestore::{AccessEvent, AccessKind, LruCacheSim};
 /// let trace: Vec<AccessEvent> = [1u64, 2, 1, 2, 3, 1]
@@ -52,11 +59,11 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct LruCacheSim {
     capacity: usize,
-    /// page → last-use tick.
-    resident: HashMap<u64, u64>,
-    /// last-use tick → page (the eviction order).
-    by_age: BTreeMap<u64, u64>,
-    tick: u64,
+    /// page → node id in the recency list.
+    resident: HashMap<u64, usize>,
+    /// node id → page (inverse of `resident`).
+    pages: Vec<u64>,
+    lru: LruList,
 }
 
 impl LruCacheSim {
@@ -70,31 +77,31 @@ impl LruCacheSim {
         LruCacheSim {
             capacity,
             resident: HashMap::with_capacity(capacity + 1),
-            by_age: BTreeMap::new(),
-            tick: 0,
+            pages: Vec::with_capacity(capacity + 1),
+            lru: LruList::with_capacity(capacity + 1),
         }
     }
 
     /// Touches one page; returns `true` on a hit.
     pub fn touch(&mut self, page: u64) -> bool {
-        self.tick += 1;
-        match self.resident.insert(page, self.tick) {
-            Some(old_tick) => {
-                self.by_age.remove(&old_tick);
-                self.by_age.insert(self.tick, page);
-                true
-            }
-            None => {
-                self.by_age.insert(self.tick, page);
-                if self.resident.len() > self.capacity {
-                    let (&oldest, &victim) =
-                        self.by_age.iter().next().expect("pool is over capacity");
-                    self.by_age.remove(&oldest);
-                    self.resident.remove(&victim);
-                }
-                false
-            }
+        if let Some(&id) = self.resident.get(&page) {
+            self.lru.touch(id);
+            return true;
         }
+        let id = self.lru.alloc();
+        if id == self.pages.len() {
+            self.pages.push(page);
+        } else {
+            self.pages[id] = page;
+        }
+        self.resident.insert(page, id);
+        self.lru.push_front(id);
+        if self.resident.len() > self.capacity {
+            let victim = self.lru.pop_back().expect("pool is over capacity");
+            self.resident.remove(&self.pages[victim]);
+            self.lru.release(victim);
+        }
+        false
     }
 
     /// Number of pages currently resident.
@@ -182,5 +189,17 @@ mod tests {
     #[should_panic(expected = "capacity must be non-zero")]
     fn zero_capacity_rejected() {
         LruCacheSim::new(0);
+    }
+
+    #[test]
+    fn slab_ids_recycle_across_many_evictions() {
+        // A long scan through a tiny cache must not grow the slab beyond
+        // capacity + 1 ids (each miss allocates, each eviction releases).
+        let mut c = LruCacheSim::new(3);
+        for page in 0..10_000u64 {
+            c.touch(page);
+        }
+        assert_eq!(c.resident_pages(), 3);
+        assert!(c.pages.len() <= 4, "slab grew to {}", c.pages.len());
     }
 }

@@ -1,0 +1,248 @@
+//! Run coalescing: folding page-access streams into maximal contiguous runs.
+//!
+//! Willard's §4 remark is that CONTROL 2 "can be programmed to access
+//! consecutive pages in one fell swoop during its update task". The page
+//! traces this workspace records (via [`crate::TraceBuffer`]) make that
+//! concrete: a J SHIFT touches pages `p, p+1, …, p+j` in order, and a range
+//! scan touches every page of the answer interval in order. A
+//! [`RunCoalescer`] folds such a stream into maximal runs of consecutive
+//! pages with the same access kind, so physical layers (the durable image,
+//! the [`crate::BufferPool`]) can issue **one seek + one syscall per run**
+//! instead of one per page.
+
+use crate::trace::{AccessEvent, AccessKind};
+
+/// A maximal run of consecutive same-kind page accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRun {
+    /// First physical page of the run.
+    pub start: u64,
+    /// Number of consecutive pages (always ≥ 1 for emitted runs).
+    pub len: u64,
+    /// Whether the run reads or writes its pages.
+    pub kind: AccessKind,
+}
+
+impl PageRun {
+    /// One past the last page of the run.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `page` falls inside the run.
+    pub fn contains(&self, page: u64) -> bool {
+        page >= self.start && page < self.end()
+    }
+}
+
+/// Streaming coalescer: push page accesses, collect maximal runs.
+///
+/// A pushed access extends the open run when it is the page immediately
+/// after the run's last page *and* has the same [`AccessKind`]; otherwise
+/// the open run is emitted and a new one starts. Re-touching the run's
+/// current last page is also absorbed (a shift reads then writes near the
+/// same frontier page; physically that is still one sweep).
+///
+/// ```
+/// use dsf_pagestore::{AccessKind, PageRun, RunCoalescer};
+/// let mut c = RunCoalescer::new();
+/// let mut runs = Vec::new();
+/// for page in [3u64, 4, 5, 9, 10, 2] {
+///     if let Some(run) = c.push(page, AccessKind::Read) {
+///         runs.push(run);
+///     }
+/// }
+/// runs.extend(c.finish());
+/// assert_eq!(
+///     runs,
+///     vec![
+///         PageRun { start: 3, len: 3, kind: AccessKind::Read },
+///         PageRun { start: 9, len: 2, kind: AccessKind::Read },
+///         PageRun { start: 2, len: 1, kind: AccessKind::Read },
+///     ]
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct RunCoalescer {
+    open: Option<PageRun>,
+}
+
+impl RunCoalescer {
+    /// A coalescer with no open run.
+    pub fn new() -> Self {
+        RunCoalescer { open: None }
+    }
+
+    /// Pushes one access; returns the run it closed, if any.
+    pub fn push(&mut self, page: u64, kind: AccessKind) -> Option<PageRun> {
+        match &mut self.open {
+            Some(run) if run.kind == kind && page == run.end() => {
+                run.len += 1;
+                None
+            }
+            Some(run) if run.kind == kind && run.len > 0 && page == run.end() - 1 => {
+                // Re-touch of the frontier page: already covered.
+                None
+            }
+            _ => {
+                let closed = self.open.take();
+                self.open = Some(PageRun {
+                    start: page,
+                    len: 1,
+                    kind,
+                });
+                closed
+            }
+        }
+    }
+
+    /// Pushes a whole pre-formed run; returns the run it closed, if any.
+    pub fn push_run(&mut self, start: u64, len: u64, kind: AccessKind) -> Option<PageRun> {
+        if len == 0 {
+            return None;
+        }
+        match &mut self.open {
+            Some(run) if run.kind == kind && start == run.end() => {
+                run.len += len;
+                None
+            }
+            _ => {
+                let closed = self.open.take();
+                self.open = Some(PageRun { start, len, kind });
+                closed
+            }
+        }
+    }
+
+    /// Closes and returns the open run, leaving the coalescer empty.
+    pub fn finish(&mut self) -> Option<PageRun> {
+        self.open.take()
+    }
+}
+
+/// Coalesces a recorded trace into maximal contiguous runs.
+///
+/// This is the offline counterpart of [`RunCoalescer`]: replaying the
+/// trace's events in order and collecting every emitted run.
+pub fn coalesce(trace: &[AccessEvent]) -> Vec<PageRun> {
+    let mut c = RunCoalescer::new();
+    let mut runs = Vec::new();
+    for ev in trace {
+        if let Some(run) = c.push(ev.page, ev.kind) {
+            runs.push(run);
+        }
+    }
+    runs.extend(c.finish());
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(page: u64, kind: AccessKind) -> AccessEvent {
+        AccessEvent { page, kind }
+    }
+
+    #[test]
+    fn empty_trace_has_no_runs() {
+        assert!(coalesce(&[]).is_empty());
+        assert_eq!(RunCoalescer::new().finish(), None);
+    }
+
+    #[test]
+    fn single_access_is_a_unit_run() {
+        let runs = coalesce(&[ev(7, AccessKind::Write)]);
+        assert_eq!(
+            runs,
+            vec![PageRun {
+                start: 7,
+                len: 1,
+                kind: AccessKind::Write
+            }]
+        );
+    }
+
+    #[test]
+    fn kind_change_breaks_a_run() {
+        let runs = coalesce(&[
+            ev(1, AccessKind::Read),
+            ev(2, AccessKind::Read),
+            ev(3, AccessKind::Write),
+            ev(4, AccessKind::Write),
+        ]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].kind, AccessKind::Read);
+        assert_eq!(runs[0].len, 2);
+        assert_eq!(runs[1].kind, AccessKind::Write);
+        assert_eq!(runs[1].start, 3);
+    }
+
+    #[test]
+    fn backwards_jump_breaks_a_run() {
+        let runs = coalesce(&[
+            ev(5, AccessKind::Read),
+            ev(6, AccessKind::Read),
+            ev(4, AccessKind::Read),
+        ]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].start, 4);
+        assert_eq!(runs[1].len, 1);
+    }
+
+    #[test]
+    fn frontier_retouch_is_absorbed() {
+        // read p, read p again, read p+1: one run of 2 pages.
+        let runs = coalesce(&[
+            ev(5, AccessKind::Read),
+            ev(5, AccessKind::Read),
+            ev(6, AccessKind::Read),
+        ]);
+        assert_eq!(
+            runs,
+            vec![PageRun {
+                start: 5,
+                len: 2,
+                kind: AccessKind::Read
+            }]
+        );
+    }
+
+    #[test]
+    fn push_run_merges_adjacent_runs() {
+        let mut c = RunCoalescer::new();
+        assert_eq!(c.push_run(10, 4, AccessKind::Write), None);
+        assert_eq!(c.push_run(14, 2, AccessKind::Write), None);
+        assert_eq!(c.push_run(0, 0, AccessKind::Write), None); // empty: ignored
+        let closed = c.push_run(20, 1, AccessKind::Write).unwrap();
+        assert_eq!(
+            closed,
+            PageRun {
+                start: 10,
+                len: 6,
+                kind: AccessKind::Write
+            }
+        );
+        assert_eq!(
+            c.finish(),
+            Some(PageRun {
+                start: 20,
+                len: 1,
+                kind: AccessKind::Write
+            })
+        );
+    }
+
+    #[test]
+    fn run_accessors() {
+        let r = PageRun {
+            start: 8,
+            len: 3,
+            kind: AccessKind::Read,
+        };
+        assert_eq!(r.end(), 11);
+        assert!(r.contains(8));
+        assert!(r.contains(10));
+        assert!(!r.contains(11));
+    }
+}

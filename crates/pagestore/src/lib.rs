@@ -38,13 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod coalesce;
 pub mod disk;
+mod lru;
+pub mod pool;
 mod record;
 mod stats;
 mod store;
 mod trace;
 
 pub use cache::{CacheStats, LruCacheSim};
+pub use coalesce::{coalesce, PageRun, RunCoalescer};
+pub use pool::{BufferPool, MemBackend, PageBackend, PoolStats};
 pub use record::{Key, Record};
 pub use stats::{IoDelta, IoSnapshot, IoStats};
 pub use store::{End, PagedStore, SlotId, StoreConfig, StoreError};

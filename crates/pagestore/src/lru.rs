@@ -1,0 +1,219 @@
+//! An O(1) intrusive LRU list over slab-allocated node ids.
+//!
+//! Shared by [`crate::LruCacheSim`] (trace replay) and
+//! [`crate::BufferPool`] (the real pinned pool): both need *move-to-front*,
+//! *push-front* and *pop-back* in constant time, keyed by a small dense id
+//! they already hold. Nodes live in one `Vec`; links are indices, so there
+//! is no per-entry allocation and no unsafe code.
+
+/// Sentinel for "no node".
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    prev: usize,
+    next: usize,
+    /// Whether the node is currently linked into the list.
+    linked: bool,
+}
+
+/// A doubly-linked LRU order over externally-owned slots.
+///
+/// The list stores *ids* (slab indices); callers keep whatever payload they
+/// need in parallel arrays or maps. Front = most recently used, back =
+/// least recently used.
+#[derive(Debug, Default)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+// Some conveniences (`new`, `is_empty`, `back`) are exercised only by this
+// module's tests; the lib build would otherwise flag them.
+#[allow(dead_code)]
+impl LruList {
+    /// An empty list.
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// An empty list with room for `capacity` ids before reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LruList {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of linked ids.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no ids are linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocates an unlinked id (reusing freed ids first).
+    pub fn alloc(&mut self) -> usize {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = Node {
+                prev: NIL,
+                next: NIL,
+                linked: false,
+            };
+            id
+        } else {
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                linked: false,
+            });
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Returns an id to the allocator. The id must be unlinked.
+    pub fn release(&mut self, id: usize) {
+        debug_assert!(!self.nodes[id].linked, "release of a linked id");
+        self.free.push(id);
+    }
+
+    /// Links `id` at the front (most recently used). The id must be
+    /// unlinked.
+    pub fn push_front(&mut self, id: usize) {
+        debug_assert!(!self.nodes[id].linked, "push_front of a linked id");
+        self.nodes[id] = Node {
+            prev: NIL,
+            next: self.head,
+            linked: true,
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = id;
+        }
+        self.head = id;
+        if self.tail == NIL {
+            self.tail = id;
+        }
+        self.len += 1;
+    }
+
+    /// Unlinks `id` from wherever it sits. No-op if already unlinked.
+    pub fn unlink(&mut self, id: usize) {
+        if !self.nodes[id].linked {
+            return;
+        }
+        let Node { prev, next, .. } = self.nodes[id];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[id].linked = false;
+        self.len -= 1;
+    }
+
+    /// Moves a linked `id` to the front; links it if currently unlinked.
+    pub fn touch(&mut self, id: usize) {
+        self.unlink(id);
+        self.push_front(id);
+    }
+
+    /// Unlinks and returns the least-recently-used id.
+    pub fn pop_back(&mut self) -> Option<usize> {
+        let id = self.tail;
+        if id == NIL {
+            return None;
+        }
+        self.unlink(id);
+        Some(id)
+    }
+
+    /// The least-recently-used id without unlinking it.
+    pub fn back(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_touch_pop_follow_lru_order() {
+        let mut l = LruList::new();
+        let a = l.alloc();
+        let b = l.alloc();
+        let c = l.alloc();
+        l.push_front(a);
+        l.push_front(b);
+        l.push_front(c); // order: c b a
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.back(), Some(a));
+        l.touch(a); // order: a c b
+        assert_eq!(l.pop_back(), Some(b));
+        assert_eq!(l.pop_back(), Some(c));
+        assert_eq!(l.pop_back(), Some(a));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn released_ids_are_reused() {
+        let mut l = LruList::new();
+        let a = l.alloc();
+        l.push_front(a);
+        l.unlink(a);
+        l.release(a);
+        let b = l.alloc();
+        assert_eq!(a, b, "slab should recycle the freed id");
+        l.push_front(b);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn unlink_middle_keeps_neighbours_connected() {
+        let mut l = LruList::new();
+        let ids: Vec<usize> = (0..5).map(|_| l.alloc()).collect();
+        for &id in &ids {
+            l.push_front(id);
+        }
+        // order: 4 3 2 1 0
+        l.unlink(ids[2]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.pop_back(), Some(ids[0]));
+        assert_eq!(l.pop_back(), Some(ids[1]));
+        assert_eq!(l.pop_back(), Some(ids[3]));
+        assert_eq!(l.pop_back(), Some(ids[4]));
+    }
+
+    #[test]
+    fn unlink_of_unlinked_id_is_a_noop() {
+        let mut l = LruList::new();
+        let a = l.alloc();
+        l.unlink(a);
+        assert!(l.is_empty());
+        l.push_front(a);
+        l.unlink(a);
+        l.unlink(a);
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,745 @@
+//! A real pinned buffer pool with write-back caching and run-coalesced I/O.
+//!
+//! [`LruCacheSim`](crate::LruCacheSim) *simulates* what a buffer pool would
+//! do to a page trace; [`BufferPool`] *is* one: it holds page frames in
+//! memory, serves hits without touching the backend, reads misses through
+//! [`PageBackend::read_run`] (coalescing adjacent misses into one call),
+//! tracks dirty frames, and writes them back in maximal contiguous runs on
+//! flush. Frames can be pinned to exempt them from eviction while a caller
+//! holds onto their contents.
+//!
+//! The recency and eviction policy is byte-for-byte the one `LruCacheSim`
+//! uses (the shared `crate::lru::LruList`, insert-then-evict on overflow),
+//! so on the same access stream and the same capacity the pool's
+//! [`PoolStats`] report the same hit/miss counts the simulator predicts —
+//! the reconciliation the fell-swoop experiment checks.
+
+use std::collections::HashMap;
+use std::io;
+
+use crate::cache::CacheStats;
+use crate::lru::LruList;
+use crate::trace::{AccessEvent, AccessKind, TraceBuffer};
+
+/// Physical page storage a [`BufferPool`] caches in front of.
+///
+/// The contract is deliberately run-oriented: both transfers move `n`
+/// consecutive pages in **one call**, so an implementation over a file can
+/// issue a single seek plus a single read/write syscall per run.
+pub trait PageBackend {
+    /// Fixed size in bytes of every page.
+    fn page_size(&self) -> usize;
+
+    /// Reads the `buf.len() / page_size()` consecutive pages starting at
+    /// `first_page` into `buf`.
+    fn read_run(&mut self, first_page: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Writes `data` (a whole number of pages) over the consecutive pages
+    /// starting at `first_page`.
+    fn write_run(&mut self, first_page: u64, data: &[u8]) -> io::Result<()>;
+}
+
+/// Counters accumulated by a [`BufferPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Page requests served (`get`/`get_mut`/`pin`/`fetch_run` pages).
+    pub accesses: u64,
+    /// Requests satisfied from a resident frame.
+    pub hits: u64,
+    /// Requests that had to read the backend.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back during eviction (victims plus any dirty
+    /// neighbours clustered into their run).
+    pub writebacks: u64,
+    /// `write_run` calls those writebacks were folded into.
+    pub writeback_runs: u64,
+    /// Pages written out by `flush_all`.
+    pub pages_flushed: u64,
+    /// Contiguous runs those flushed pages coalesced into.
+    pub flush_runs: u64,
+}
+
+impl PoolStats {
+    /// The subset of counters comparable with [`crate::LruCacheSim`] replay.
+    pub fn as_cache_stats(&self) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: u64,
+    data: Box<[u8]>,
+    dirty: bool,
+    pins: u32,
+}
+
+/// A fixed-capacity write-back page cache over a [`PageBackend`].
+pub struct BufferPool<B: PageBackend> {
+    backend: B,
+    capacity: usize,
+    /// page → frame id. Frame ids double as [`LruList`] node ids.
+    table: HashMap<u64, usize>,
+    frames: Vec<Frame>,
+    /// Recency order over *unpinned* resident frames only.
+    lru: LruList,
+    /// When set (the default), eviction writebacks absorb adjacent dirty
+    /// frames and `flush_all` folds dirty pages into maximal runs; when
+    /// clear, every page moves in its own `write_run` call — the
+    /// historical one-page-at-a-time discipline, kept as a measurable
+    /// baseline.
+    coalescing: bool,
+    stats: PoolStats,
+    trace: TraceBuffer,
+}
+
+impl<B: PageBackend> BufferPool<B> {
+    /// A pool of `capacity` page frames over `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(backend: B, capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be non-zero");
+        BufferPool {
+            backend,
+            capacity,
+            table: HashMap::with_capacity(capacity + 1),
+            frames: Vec::with_capacity(capacity + 1),
+            lru: LruList::with_capacity(capacity + 1),
+            coalescing: true,
+            stats: PoolStats::default(),
+            trace: TraceBuffer::new(),
+        }
+    }
+
+    /// Turns write-side run coalescing on or off (on by default). With it
+    /// off, eviction writebacks and `flush_all` issue one `write_run` call
+    /// per page — the baseline the fell-swoop experiment measures against.
+    /// Recency, hit/miss and eviction behaviour are identical either way.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalescing = on;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// The pool's own access trace (disabled until enabled by the caller);
+    /// it records the *logical* page stream, before caching, in the same
+    /// [`AccessEvent`] format the rest of the workspace consumes.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: u64) -> bool {
+        self.table.contains_key(&page)
+    }
+
+    /// Read access to a page, faulting it in if absent.
+    pub fn get(&mut self, page: u64) -> io::Result<&[u8]> {
+        self.trace.record(page, AccessKind::Read);
+        let id = self.ensure_resident(page)?;
+        Ok(&self.frames[id].data)
+    }
+
+    /// Write access to a page, faulting it in if absent; marks it dirty.
+    pub fn get_mut(&mut self, page: u64) -> io::Result<&mut [u8]> {
+        self.trace.record(page, AccessKind::Write);
+        let id = self.ensure_resident(page)?;
+        self.frames[id].dirty = true;
+        Ok(&mut self.frames[id].data)
+    }
+
+    /// Pins `page` (faulting it in if absent), exempting it from eviction
+    /// until a matching [`unpin`](Self::unpin).
+    pub fn pin(&mut self, page: u64) -> io::Result<()> {
+        self.trace.record(page, AccessKind::Read);
+        let id = self.ensure_resident(page)?;
+        self.frames[id].pins += 1;
+        self.lru.unlink(id);
+        Ok(())
+    }
+
+    /// Releases one pin on `page`; when the last pin drops the frame rejoins
+    /// the eviction order as most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not resident or not pinned.
+    pub fn unpin(&mut self, page: u64) {
+        let &id = self.table.get(&page).expect("unpin of a non-resident page");
+        let frame = &mut self.frames[id];
+        assert!(frame.pins > 0, "unpin of an unpinned page");
+        frame.pins -= 1;
+        if frame.pins == 0 {
+            self.lru.push_front(id);
+        }
+    }
+
+    /// Pin count of a resident page (0 if unpinned or absent).
+    pub fn pin_count(&self, page: u64) -> u32 {
+        self.table.get(&page).map_or(0, |&id| self.frames[id].pins)
+    }
+
+    /// Faults the `len` consecutive pages starting at `start` into the pool
+    /// in one fell swoop: resident stretches are hits, and each maximal
+    /// stretch of missing pages is fetched with a **single**
+    /// [`PageBackend::read_run`] call.
+    pub fn fetch_run(&mut self, start: u64, len: u64) -> io::Result<()> {
+        self.trace.record_run(start, len, AccessKind::Read);
+        let page_size = self.backend.page_size();
+        let end = start + len;
+        let mut p = start;
+        while p < end {
+            if let Some(&id) = self.table.get(&p) {
+                self.stats.accesses += 1;
+                self.stats.hits += 1;
+                if self.frames[id].pins == 0 {
+                    self.lru.touch(id);
+                }
+                p += 1;
+                continue;
+            }
+            let miss_start = p;
+            while p < end && !self.table.contains_key(&p) {
+                p += 1;
+            }
+            let miss_len = (p - miss_start) as usize;
+            let mut buf = vec![0u8; miss_len * page_size];
+            self.backend.read_run(miss_start, &mut buf)?;
+            for (i, chunk) in buf.chunks_exact(page_size).enumerate() {
+                self.stats.accesses += 1;
+                self.stats.misses += 1;
+                self.install(miss_start + i as u64, chunk)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty frame back in maximal contiguous runs (one
+    /// [`PageBackend::write_run`] call per run) and marks them clean.
+    pub fn flush_all(&mut self) -> io::Result<()> {
+        let page_size = self.backend.page_size();
+        let mut dirty: Vec<u64> = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(id, f)| f.dirty && self.table.get(&f.page) == Some(id))
+            .map(|(_, f)| f.page)
+            .collect();
+        dirty.sort_unstable();
+        let mut i = 0;
+        while i < dirty.len() {
+            let mut j = i + 1;
+            while self.coalescing && j < dirty.len() && dirty[j] == dirty[j - 1] + 1 {
+                j += 1;
+            }
+            let run = &dirty[i..j];
+            let mut buf = Vec::with_capacity(run.len() * page_size);
+            for &page in run {
+                let id = self.table[&page];
+                buf.extend_from_slice(&self.frames[id].data);
+            }
+            self.backend.write_run(run[0], &buf)?;
+            for &page in run {
+                let id = self.table[&page];
+                self.frames[id].dirty = false;
+            }
+            self.stats.pages_flushed += run.len() as u64;
+            self.stats.flush_runs += 1;
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Flushes everything and hands the backend back.
+    pub fn into_backend(mut self) -> io::Result<B> {
+        self.flush_all()?;
+        Ok(self.backend)
+    }
+
+    /// Shared access to the backend (e.g. to read its counters).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Replays a recorded trace through the pool: `Read` events via
+    /// [`get`](Self::get), `Write` events via [`get_mut`](Self::get_mut).
+    /// Returns the counter *delta* for the replay, directly comparable with
+    /// [`crate::LruCacheSim::replay`] on the same trace and capacity.
+    pub fn replay(&mut self, trace: &[AccessEvent]) -> io::Result<CacheStats> {
+        let before = self.stats;
+        for ev in trace {
+            match ev.kind {
+                AccessKind::Read => {
+                    self.get(ev.page)?;
+                }
+                AccessKind::Write => {
+                    self.get_mut(ev.page)?;
+                }
+            }
+        }
+        let after = self.stats;
+        Ok(CacheStats {
+            accesses: after.accesses - before.accesses,
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
+        })
+    }
+
+    /// Returns `page`'s frame id, faulting the page in (and possibly
+    /// evicting) on a miss. Counts the access.
+    fn ensure_resident(&mut self, page: u64) -> io::Result<usize> {
+        self.stats.accesses += 1;
+        if let Some(&id) = self.table.get(&page) {
+            self.stats.hits += 1;
+            if self.frames[id].pins == 0 {
+                self.lru.touch(id);
+            }
+            return Ok(id);
+        }
+        self.stats.misses += 1;
+        let page_size = self.backend.page_size();
+        let mut buf = vec![0u8; page_size];
+        self.backend.read_run(page, &mut buf)?;
+        self.install(page, &buf)
+    }
+
+    /// Inserts a freshly-read page (insert first, then evict on overflow —
+    /// the same order `LruCacheSim::touch` uses, so miss/eviction counts
+    /// line up).
+    fn install(&mut self, page: u64, data: &[u8]) -> io::Result<usize> {
+        let id = self.lru.alloc();
+        if id == self.frames.len() {
+            self.frames.push(Frame {
+                page,
+                data: data.into(),
+                dirty: false,
+                pins: 0,
+            });
+        } else {
+            let frame = &mut self.frames[id];
+            frame.page = page;
+            frame.data.copy_from_slice(data);
+            frame.dirty = false;
+            frame.pins = 0;
+        }
+        self.table.insert(page, id);
+        self.lru.push_front(id);
+        if self.table.len() > self.capacity {
+            if self.lru.len() <= 1 {
+                // The only evictable frame is the one just installed; the
+                // caller is about to use it, so evicting it would hand back
+                // a stale frame. Refuse instead.
+                self.table.remove(&page);
+                self.lru.unlink(id);
+                self.lru.release(id);
+                return Err(io::Error::new(
+                    io::ErrorKind::OutOfMemory,
+                    "buffer pool over capacity with every frame pinned",
+                ));
+            }
+            self.evict_one()?;
+        }
+        Ok(id)
+    }
+
+    /// Evicts the least-recently-used unpinned frame, writing it back first
+    /// if dirty. With coalescing on, the writeback absorbs the maximal
+    /// contiguous stretch of dirty resident pages around the victim into
+    /// the same `write_run` call (they stay resident, now clean) — the
+    /// write-side half of the fell swoop.
+    fn evict_one(&mut self) -> io::Result<()> {
+        let victim = self.lru.pop_back().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                "buffer pool over capacity with every frame pinned",
+            )
+        })?;
+        let (page, dirty) = (self.frames[victim].page, self.frames[victim].dirty);
+        if dirty {
+            if self.coalescing {
+                self.write_back_cluster(page)?;
+            } else {
+                let data = std::mem::take(&mut self.frames[victim].data);
+                self.backend.write_run(page, &data)?;
+                self.frames[victim].data = data;
+                self.frames[victim].dirty = false;
+                self.stats.writebacks += 1;
+                self.stats.writeback_runs += 1;
+            }
+        }
+        self.table.remove(&page);
+        self.lru.release(victim);
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Whether `page` is resident and dirty.
+    fn is_dirty_resident(&self, page: u64) -> bool {
+        self.table
+            .get(&page)
+            .is_some_and(|&id| self.frames[id].dirty)
+    }
+
+    /// Writes back the maximal contiguous stretch of dirty resident pages
+    /// containing `page` in one `write_run` call and marks them clean.
+    fn write_back_cluster(&mut self, page: u64) -> io::Result<()> {
+        let mut lo = page;
+        while lo > 0 && self.is_dirty_resident(lo - 1) {
+            lo -= 1;
+        }
+        let mut hi = page + 1;
+        while self.is_dirty_resident(hi) {
+            hi += 1;
+        }
+        let page_size = self.backend.page_size();
+        let mut buf = Vec::with_capacity((hi - lo) as usize * page_size);
+        for p in lo..hi {
+            buf.extend_from_slice(&self.frames[self.table[&p]].data);
+        }
+        self.backend.write_run(lo, &buf)?;
+        for p in lo..hi {
+            let id = self.table[&p];
+            self.frames[id].dirty = false;
+            self.stats.writebacks += 1;
+        }
+        self.stats.writeback_runs += 1;
+        Ok(())
+    }
+}
+
+impl<B: PageBackend + std::fmt::Debug> std::fmt::Debug for BufferPool<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("backend", &self.backend)
+            .field("capacity", &self.capacity)
+            .field("resident", &self.table.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// An in-memory [`PageBackend`] that counts its calls — the test double for
+/// syscall-level accounting (each `read_run`/`write_run` call stands for one
+/// seek + one syscall).
+#[derive(Debug)]
+pub struct MemBackend {
+    page_size: usize,
+    pages: HashMap<u64, Vec<u8>>,
+    /// `read_run` calls issued.
+    pub read_calls: u64,
+    /// `write_run` calls issued.
+    pub write_calls: u64,
+    /// Total pages transferred by reads.
+    pub pages_read: u64,
+    /// Total pages transferred by writes.
+    pub pages_written: u64,
+}
+
+impl MemBackend {
+    /// An empty backend of `page_size`-byte pages; absent pages read as
+    /// zeroes.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be non-zero");
+        MemBackend {
+            page_size,
+            pages: HashMap::new(),
+            read_calls: 0,
+            write_calls: 0,
+            pages_read: 0,
+            pages_written: 0,
+        }
+    }
+
+    /// The stored bytes of `page` (zeroes if never written).
+    pub fn page(&self, page: u64) -> Vec<u8> {
+        self.pages
+            .get(&page)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.page_size])
+    }
+
+    /// Total I/O calls (reads + writes).
+    pub fn io_calls(&self) -> u64 {
+        self.read_calls + self.write_calls
+    }
+}
+
+impl PageBackend for MemBackend {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_run(&mut self, first_page: u64, buf: &mut [u8]) -> io::Result<()> {
+        assert_eq!(buf.len() % self.page_size, 0, "partial-page read");
+        self.read_calls += 1;
+        let n = buf.len() / self.page_size;
+        self.pages_read += n as u64;
+        for (i, chunk) in buf.chunks_exact_mut(self.page_size).enumerate() {
+            match self.pages.get(&(first_page + i as u64)) {
+                Some(data) => chunk.copy_from_slice(data),
+                None => chunk.fill(0),
+            }
+        }
+        Ok(())
+    }
+
+    fn write_run(&mut self, first_page: u64, data: &[u8]) -> io::Result<()> {
+        assert_eq!(data.len() % self.page_size, 0, "partial-page write");
+        self.write_calls += 1;
+        let n = data.len() / self.page_size;
+        self.pages_written += n as u64;
+        for (i, chunk) in data.chunks_exact(self.page_size).enumerate() {
+            self.pages.insert(first_page + i as u64, chunk.to_vec());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::LruCacheSim;
+
+    const PS: usize = 64;
+
+    fn pool(capacity: usize) -> BufferPool<MemBackend> {
+        BufferPool::new(MemBackend::new(PS), capacity)
+    }
+
+    #[test]
+    fn get_faults_in_and_then_hits() {
+        let mut p = pool(4);
+        assert_eq!(p.get(3).unwrap(), &[0u8; PS][..]);
+        assert!(p.contains(3));
+        p.get(3).unwrap();
+        let s = p.stats();
+        assert_eq!((s.accesses, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(p.backend().read_calls, 1);
+    }
+
+    #[test]
+    fn writes_are_buffered_until_flush() {
+        let mut p = pool(4);
+        p.get_mut(1).unwrap()[0] = 0xAA;
+        p.get_mut(2).unwrap()[0] = 0xBB;
+        assert_eq!(p.backend().write_calls, 0, "write-back, not write-through");
+        p.flush_all().unwrap();
+        assert_eq!(p.backend().write_calls, 1, "adjacent dirty pages: one run");
+        assert_eq!(p.backend().page(1)[0], 0xAA);
+        assert_eq!(p.backend().page(2)[0], 0xBB);
+        let s = p.stats();
+        assert_eq!((s.pages_flushed, s.flush_runs), (2, 1));
+        // Second flush is a no-op: everything is clean.
+        p.flush_all().unwrap();
+        assert_eq!(p.backend().write_calls, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut p = pool(2);
+        p.get_mut(1).unwrap()[0] = 7;
+        p.get(2).unwrap();
+        p.get(3).unwrap(); // evicts 1, which is dirty
+        assert!(!p.contains(1));
+        assert_eq!(p.backend().page(1)[0], 7);
+        let s = p.stats();
+        assert_eq!((s.evictions, s.writebacks), (1, 1));
+        // Re-reading 1 sees the written-back data.
+        assert_eq!(p.get(1).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn eviction_writeback_clusters_adjacent_dirty_pages() {
+        let mut p = pool(4);
+        for page in 0..4u64 {
+            p.get_mut(page).unwrap()[0] = page as u8;
+        }
+        // Fault a 5th page: evicts page 0, whose writeback absorbs the
+        // whole dirty stretch 0..4 in one call.
+        p.get(10).unwrap();
+        assert_eq!(p.backend().write_calls, 1);
+        assert_eq!(p.backend().pages_written, 4);
+        let s = p.stats();
+        assert_eq!((s.writebacks, s.writeback_runs, s.evictions), (4, 1, 1));
+        for page in 0..4u64 {
+            assert_eq!(p.backend().page(page)[0], page as u8);
+        }
+        // The neighbours stay resident and are clean now: flushing writes
+        // nothing further.
+        p.flush_all().unwrap();
+        assert_eq!(p.backend().write_calls, 1);
+    }
+
+    #[test]
+    fn per_page_mode_disables_write_coalescing() {
+        let mut p = pool(4);
+        p.set_coalescing(false);
+        for page in 0..4u64 {
+            p.get_mut(page).unwrap()[0] = 1;
+        }
+        p.get(10).unwrap(); // evicts page 0: one single-page writeback
+        let s = p.stats();
+        assert_eq!((s.writebacks, s.writeback_runs), (1, 1));
+        p.flush_all().unwrap(); // pages 1..4 still dirty, one call each
+        let s = p.stats();
+        assert_eq!((s.pages_flushed, s.flush_runs), (3, 3));
+        assert_eq!(p.backend().write_calls, 4);
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction_pressure() {
+        let mut p = pool(2);
+        p.pin(1).unwrap();
+        for page in 2..10 {
+            p.get(page).unwrap();
+        }
+        assert!(p.contains(1), "pinned page must not be evicted");
+        assert_eq!(p.pin_count(1), 1);
+        p.unpin(1);
+        assert_eq!(p.pin_count(1), 0);
+        p.get(20).unwrap();
+        p.get(21).unwrap();
+        assert!(!p.contains(1), "after unpin the page ages out normally");
+    }
+
+    #[test]
+    fn all_pinned_overflow_is_an_error() {
+        let mut p = pool(2);
+        p.pin(1).unwrap();
+        p.pin(2).unwrap();
+        let err = p.get(3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+    }
+
+    #[test]
+    fn unpin_balanced_with_multiple_pins() {
+        let mut p = pool(2);
+        p.pin(1).unwrap();
+        p.pin(1).unwrap();
+        assert_eq!(p.pin_count(1), 2);
+        p.unpin(1);
+        assert_eq!(p.pin_count(1), 1);
+        p.unpin(1);
+        assert_eq!(p.pin_count(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of a non-resident page")]
+    fn unpin_of_absent_page_panics() {
+        pool(2).unpin(9);
+    }
+
+    #[test]
+    fn fetch_run_coalesces_misses_into_single_reads() {
+        let mut p = pool(16);
+        p.get(5).unwrap(); // 5 resident
+        let before = p.backend().read_calls;
+        p.fetch_run(3, 6).unwrap(); // pages 3..9: misses 3-4 and 6-8, hit 5
+        assert_eq!(
+            p.backend().read_calls - before,
+            2,
+            "two miss stretches → two read_run calls"
+        );
+        let s = p.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 6); // 5 from the run + the initial get(5)
+        for page in 3..9 {
+            assert!(p.contains(page));
+        }
+    }
+
+    #[test]
+    fn fetch_run_fully_resident_reads_nothing() {
+        let mut p = pool(8);
+        p.fetch_run(0, 4).unwrap();
+        let before = p.backend().read_calls;
+        p.fetch_run(0, 4).unwrap();
+        assert_eq!(p.backend().read_calls, before);
+    }
+
+    #[test]
+    fn round_trip_through_backend() {
+        let mut backend = MemBackend::new(PS);
+        let mut data = vec![0u8; 3 * PS];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        backend.write_run(10, &data).unwrap();
+        let mut p = BufferPool::new(backend, 8);
+        p.fetch_run(10, 3).unwrap();
+        for i in 0..3u64 {
+            let expect = &data[i as usize * PS..(i as usize + 1) * PS];
+            assert_eq!(p.get(10 + i).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn counters_reconcile_with_lru_cache_sim() {
+        // The acceptance criterion: identical miss counts at identical
+        // capacity on an identical access stream.
+        let mut trace = Vec::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..2000u64 {
+            // Deterministic mix of locality (shift-like sweeps) and jumps.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = if i % 7 < 5 { (i / 7) % 64 } else { x % 256 };
+            let kind = if x & 1 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            trace.push(AccessEvent { page, kind });
+        }
+        for capacity in [1usize, 2, 8, 32, 128] {
+            let sim = LruCacheSim::new(capacity).replay(&trace);
+            let got = pool(capacity).replay(&trace).unwrap();
+            assert_eq!(got, sim, "capacity {capacity}");
+            assert_eq!(got.hits + got.misses, got.accesses);
+        }
+    }
+
+    #[test]
+    fn pool_trace_records_logical_stream() {
+        let mut p = pool(4);
+        p.trace().set_enabled(true);
+        p.get(1).unwrap();
+        p.get(1).unwrap(); // hit still recorded: the trace is pre-cache
+        p.get_mut(2).unwrap();
+        let evs = p.trace().take();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[2].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn into_backend_flushes() {
+        let mut p = pool(4);
+        p.get_mut(0).unwrap()[0] = 1;
+        let backend = p.into_backend().unwrap();
+        assert_eq!(backend.page(0)[0], 1);
+    }
+}

@@ -182,9 +182,10 @@ impl<K: Key, V> PagedStore<K, V> {
         }
         if self.trace.is_enabled() {
             let base = u64::from(slot) * u64::from(self.cfg.pages_per_slot);
-            for p in first..=last {
-                self.trace.record(base + p, kind);
-            }
+            // One pre-formed run: a span is consecutive pages by
+            // construction, so the trace's run log keeps it whole (and can
+            // merge it with an adjacent span from the same sweep).
+            self.trace.record_run(base + first, n, kind);
         }
     }
 

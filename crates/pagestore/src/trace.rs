@@ -4,9 +4,17 @@
 //! [`AccessEvent`]. The [`crate::disk`] module replays such traces through a
 //! rotational-disk model to estimate wall-clock time — the quantity behind
 //! the paper's disk-arm-movement argument for sequential files.
+//!
+//! Alongside the per-page event log the buffer maintains a **run log**: the
+//! same access stream folded through a [`RunCoalescer`] into maximal
+//! contiguous [`PageRun`]s. The run log is the planning input for fell-swoop
+//! physical I/O — one seek + one syscall per run — while the event log
+//! remains the ground truth for cache simulation and the disk model.
 
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Mutex;
+
+use crate::coalesce::{PageRun, RunCoalescer};
 
 /// Whether a page access was a read or a write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,17 +34,25 @@ pub struct AccessEvent {
     pub kind: AccessKind,
 }
 
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<AccessEvent>,
+    coalescer: RunCoalescer,
+    runs: Vec<PageRun>,
+}
+
 /// An opt-in, interior-mutable buffer of [`AccessEvent`]s.
 ///
 /// Disabled by default: recording every access of a long benchmark would
 /// dominate memory. Enable it around the spans whose disk-time you want to
-/// model, then [`TraceBuffer::take`] the events. Thread-safe (an atomic
-/// flag gates a mutex-protected buffer), so traced structures can sit
-/// behind shared locks; when disabled the cost is one relaxed load.
+/// model, then [`TraceBuffer::take`] the events (or [`TraceBuffer::take_runs`]
+/// the coalesced runs). Thread-safe (an atomic flag gates a mutex-protected
+/// buffer), so traced structures can sit behind shared locks; when disabled
+/// the cost is one relaxed load.
 #[derive(Debug, Default)]
 pub struct TraceBuffer {
     enabled: AtomicBool,
-    events: Mutex<Vec<AccessEvent>>,
+    inner: Mutex<TraceInner>,
 }
 
 impl TraceBuffer {
@@ -59,31 +75,71 @@ impl TraceBuffer {
     #[inline]
     pub fn record(&self, page: u64, kind: AccessKind) {
         if self.enabled.load(Relaxed) {
-            self.events
-                .lock()
-                .expect("trace mutex poisoned")
-                .push(AccessEvent { page, kind });
+            let mut inner = self.inner.lock().expect("trace mutex poisoned");
+            inner.events.push(AccessEvent { page, kind });
+            if let Some(run) = inner.coalescer.push(page, kind) {
+                inner.runs.push(run);
+            }
+        }
+    }
+
+    /// Appends `len` consecutive page accesses starting at `start` as one
+    /// pre-formed run, if recording is on.
+    ///
+    /// The event log still receives one [`AccessEvent`] per page (so cache
+    /// simulation and the disk model see the exact stream); the run log
+    /// receives the span whole, merging with an open adjacent run.
+    pub fn record_run(&self, start: u64, len: u64, kind: AccessKind) {
+        if len == 0 || !self.enabled.load(Relaxed) {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace mutex poisoned");
+        for page in start..start + len {
+            inner.events.push(AccessEvent { page, kind });
+        }
+        if let Some(run) = inner.coalescer.push_run(start, len, kind) {
+            inner.runs.push(run);
         }
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace mutex poisoned").len()
+        self.inner
+            .lock()
+            .expect("trace mutex poisoned")
+            .events
+            .len()
     }
 
     /// Whether no events have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().expect("trace mutex poisoned").is_empty()
+        self.inner
+            .lock()
+            .expect("trace mutex poisoned")
+            .events
+            .is_empty()
     }
 
-    /// Removes and returns all recorded events.
+    /// Removes and returns all recorded events. The run log is unaffected.
     pub fn take(&self) -> Vec<AccessEvent> {
-        std::mem::take(&mut *self.events.lock().expect("trace mutex poisoned"))
+        std::mem::take(&mut self.inner.lock().expect("trace mutex poisoned").events)
     }
 
-    /// Discards all recorded events.
+    /// Removes and returns the coalesced run log (closing any open run).
+    pub fn take_runs(&self) -> Vec<PageRun> {
+        let mut inner = self.inner.lock().expect("trace mutex poisoned");
+        if let Some(run) = inner.coalescer.finish() {
+            inner.runs.push(run);
+        }
+        std::mem::take(&mut inner.runs)
+    }
+
+    /// Discards all recorded events and runs.
     pub fn clear(&self) {
-        self.events.lock().expect("trace mutex poisoned").clear();
+        let mut inner = self.inner.lock().expect("trace mutex poisoned");
+        inner.events.clear();
+        inner.runs.clear();
+        inner.coalescer.finish();
     }
 }
 
@@ -95,8 +151,10 @@ mod tests {
     fn disabled_buffer_records_nothing() {
         let t = TraceBuffer::new();
         t.record(1, AccessKind::Read);
+        t.record_run(10, 3, AccessKind::Read);
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+        assert!(t.take_runs().is_empty());
     }
 
     #[test]
@@ -143,6 +201,46 @@ mod tests {
         t.record(1, AccessKind::Write);
         t.clear();
         assert!(t.is_empty());
+        assert!(t.take_runs().is_empty());
         assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn record_run_expands_events_and_keeps_run_whole() {
+        let t = TraceBuffer::new();
+        t.set_enabled(true);
+        t.record_run(4, 3, AccessKind::Write);
+        t.record_run(0, 0, AccessKind::Write); // empty: no-op
+        let pages: Vec<u64> = t.take().iter().map(|e| e.page).collect();
+        assert_eq!(pages, vec![4, 5, 6]);
+        assert_eq!(
+            t.take_runs(),
+            vec![PageRun {
+                start: 4,
+                len: 3,
+                kind: AccessKind::Write
+            }]
+        );
+    }
+
+    #[test]
+    fn adjacent_accesses_coalesce_into_one_run() {
+        let t = TraceBuffer::new();
+        t.set_enabled(true);
+        t.record(7, AccessKind::Read);
+        t.record(8, AccessKind::Read);
+        t.record_run(9, 2, AccessKind::Read);
+        t.record(20, AccessKind::Read);
+        let runs = t.take_runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0],
+            PageRun {
+                start: 7,
+                len: 4,
+                kind: AccessKind::Read
+            }
+        );
+        assert_eq!(runs[1].start, 20);
     }
 }
