@@ -119,6 +119,17 @@ impl<K: Key, V> DenseFile<K, V> {
             .collect()
     }
 
+    /// A mutable back door for deliberately corrupting internal state.
+    ///
+    /// Exists so tests (and the crash-consistency harness) can construct
+    /// every [`crate::InvariantViolation`] variant and prove
+    /// [`DenseFile::check_invariants`] detects it. Nothing reached through
+    /// the returned handle charges I/O or maintains any invariant — a file
+    /// touched through [`Audit`] is corrupt until proven otherwise.
+    pub fn audit(&mut self) -> Audit<'_, K, V> {
+        Audit { file: self }
+    }
+
     // ------------------------------------------------------------------
     // Step tracing.
     // ------------------------------------------------------------------
@@ -463,6 +474,43 @@ impl<K: Key, V> DenseFile<K, V> {
         let mut new = DenseFile::new(config)?;
         new.bulk_load(all)?;
         Ok(new)
+    }
+}
+
+/// Corruption handle returned by [`DenseFile::audit`].
+///
+/// Grants raw mutable access to the store and calibrator so invariant tests
+/// can fabricate precisely the inconsistency they want to see detected.
+/// **Never use outside tests and checkers** — no method here maintains any
+/// file invariant or charges page accesses.
+pub struct Audit<'a, K: Key, V> {
+    file: &'a mut DenseFile<K, V>,
+}
+
+impl<K: Key, V> Audit<'_, K, V> {
+    /// The raw store, mutably.
+    pub fn store_mut(&mut self) -> &mut PagedStore<K, V> {
+        &mut self.file.store
+    }
+
+    /// The raw calibrator, mutably.
+    pub fn calibrator_mut(&mut self) -> &mut Calibrator<K> {
+        &mut self.file.cal
+    }
+
+    /// Replaces the records of `slot` verbatim (no ordering or capacity
+    /// checks), then resyncs the calibrator's counters and cached minima so
+    /// the *only* inconsistency left is whatever the new contents themselves
+    /// violate — the way to fabricate a pure store-level corruption
+    /// (unsorted slot, cross-slot disorder, overfull slot) without dragging
+    /// `CountMismatch`/`MinKeyMismatch` noise along.
+    pub fn corrupt_slot(&mut self, slot: u32, recs: Vec<(K, V)>) {
+        let recs: Vec<Record<K, V>> = recs.into_iter().map(|(k, v)| Record::new(k, v)).collect();
+        self.file.store.corrupt_slot_for_audit(slot, recs);
+        let count = self.file.store.len(slot) as u64;
+        let min = self.file.store.min_key(slot);
+        self.file.cal.set_leaf_raw(slot, count, min);
+        self.file.cal.recompute_subtree(NodeId::ROOT);
     }
 }
 

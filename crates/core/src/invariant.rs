@@ -93,6 +93,26 @@ pub enum InvariantViolation {
     },
 }
 
+impl InvariantViolation {
+    /// Stable machine-readable variant name (for logs, artifacts, and the
+    /// fault-suite's coverage accounting).
+    pub fn name(&self) -> &'static str {
+        use InvariantViolation::*;
+        match self {
+            SlotUnsorted { .. } => "SlotUnsorted",
+            CrossSlotOrder { .. } => "CrossSlotOrder",
+            SlotOverCapacity { .. } => "SlotOverCapacity",
+            CountMismatch { .. } => "CountMismatch",
+            MinKeyMismatch { .. } => "MinKeyMismatch",
+            BalanceViolated { .. } => "BalanceViolated",
+            StaleWarning { .. } => "StaleWarning",
+            MissingWarning { .. } => "MissingWarning",
+            DestOutOfRange { .. } => "DestOutOfRange",
+            OverCapacity { .. } => "OverCapacity",
+        }
+    }
+}
+
 impl std::fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         use InvariantViolation::*;

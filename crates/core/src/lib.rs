@@ -67,7 +67,7 @@ pub use config::{
     ResolvedConfig,
 };
 pub use error::{BulkLoadError, DsfError};
-pub use file::DenseFile;
+pub use file::{Audit, DenseFile};
 pub use invariant::InvariantViolation;
 pub use scan::{Scan, ScanRev};
 pub use snapshot::{Codec, SnapshotError};

@@ -23,15 +23,25 @@
 //! fsyncs per command, [`SyncPolicy::Manual`] leaves syncing to explicit
 //! [`DurableFile::sync`] calls (and the OS).
 //!
-//! The crash-injection tests in this crate truncate the log at every byte
-//! boundary of its tail and assert that recovery always yields a consistent
-//! prefix of the command history with all paper invariants intact.
+//! Every filesystem effect of the WAL path goes through the [`vfs::Vfs`]
+//! trait. Production code uses [`vfs::StdFs`] (the real filesystem); the
+//! crash-consistency harness swaps in [`vfs::FaultFs`], a deterministic
+//! fault-injecting filesystem that models the durable-vs-volatile split
+//! (torn writes, lost un-fsynced data, transient `EIO`, seeded crash
+//! points). The crash-injection tests in this crate truncate the log at
+//! every byte boundary of its tail, and the model checker in
+//! `tests/fault_injection.rs` crashes the WAL at every injected syscall,
+//! asserting that recovery always yields a consistent prefix of the
+//! command history with all paper invariants intact. See
+//! `docs/FAULTMODEL.md` for the fault taxonomy and the guarantees.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod physical;
+pub mod vfs;
 mod wal;
 
 pub use physical::{ImageHeader, IoReport, PhysicalImage};
+pub use vfs::{FaultFs, FaultPlan, StdFs, SyscallKind, Vfs, VfsFile};
 pub use wal::{DurableError, DurableFile, SyncPolicy};

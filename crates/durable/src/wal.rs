@@ -1,13 +1,14 @@
 //! The write-ahead log and recovery machinery.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
 
 use dsf_core::snapshot::{fnv1a64, Codec, SnapshotError};
 use dsf_core::{DenseFile, DenseFileConfig, DsfError};
 use dsf_pagestore::Key;
+
+use crate::vfs::{StdFs, Vfs, VfsFile};
 
 const CHECKPOINT: &str = "checkpoint.dsf";
 const CHECKPOINT_TMP: &str = "checkpoint.dsf.tmp";
@@ -19,8 +20,10 @@ const OP_REMOVE: u8 = 2;
 /// Magic + epoch at the head of the WAL; a log is only replayed when its
 /// epoch matches the checkpoint's, so a crash between "new checkpoint
 /// renamed" and "log truncated" can never replay a stale log onto the new
-/// state.
-const WAL_MAGIC: &[u8; 8] = b"DSFWAL01";
+/// state. Version 02: frame checksums are salted with the epoch (see
+/// [`frame_checksum`]), so a stale frame can never validate under a header
+/// whose epoch bytes were torn into looking current.
+const WAL_MAGIC: &[u8; 8] = b"DSFWAL02";
 const WAL_HEADER: usize = 16;
 
 /// When the log is flushed to stable storage.
@@ -45,6 +48,13 @@ pub enum DurableError {
     File(DsfError),
     /// `open` was called on a directory without a checkpoint.
     NotInitialized,
+    /// A failed checkpoint (or an unrecoverable log write) left the log
+    /// unusable: the on-disk checkpoint epoch may be ahead of the log, so
+    /// appending another command could be silently discarded by recovery.
+    /// Structural commands fail with this error until a
+    /// [`DurableFile::checkpoint`] retry succeeds (or the file is
+    /// reopened).
+    LogPoisoned,
 }
 
 impl std::fmt::Display for DurableError {
@@ -55,6 +65,12 @@ impl std::fmt::Display for DurableError {
             DurableError::File(e) => write!(f, "dense file error: {e}"),
             DurableError::NotInitialized => {
                 write!(f, "directory has no checkpoint; use create() first")
+            }
+            DurableError::LogPoisoned => {
+                write!(
+                    f,
+                    "write-ahead log poisoned by a failed checkpoint; retry checkpoint() or reopen"
+                )
             }
         }
     }
@@ -80,17 +96,107 @@ impl From<DsfError> for DurableError {
     }
 }
 
+/// The frame checksum: FNV-1a over the epoch (little-endian) followed by
+/// the frame body. Salting with the epoch binds every frame to its log
+/// generation, so bytes of an epoch-`e` frame surviving a torn log reset
+/// can never replay under an epoch-`e+1` header.
+fn frame_checksum(epoch: u64, body: &[u8]) -> u64 {
+    let mut salted = Vec::with_capacity(8 + body.len());
+    salted.extend_from_slice(&epoch.to_le_bytes());
+    salted.extend_from_slice(body);
+    fnv1a64(&salted)
+}
+
+/// The append path of the log: buffers one frame, writes it with a single
+/// syscall, and **rolls the file back** when a write or post-write fsync
+/// fails, so a frame whose command errored out (and was undone in memory)
+/// can never survive on disk ahead of the in-memory state.
+struct WalWriter<W: VfsFile> {
+    file: W,
+    /// Bytes of the frame being appended (always empty between commands).
+    pending: Vec<u8>,
+    /// File length up to which every byte is an acknowledged frame.
+    written: u64,
+    /// Set when a rollback itself failed: the file's tail is in an unknown
+    /// state and no further append may be trusted.
+    poisoned: bool,
+}
+
+impl<W: VfsFile> WalWriter<W> {
+    fn new(file: W, written: u64) -> Self {
+        WalWriter {
+            file,
+            pending: Vec::new(),
+            written,
+            poisoned: false,
+        }
+    }
+
+    fn append(&mut self, frame: &[u8]) {
+        self.pending.extend_from_slice(frame);
+    }
+
+    /// Writes the pending frame with one syscall. On failure the partially
+    /// written bytes are scrubbed with `set_len` back to the last
+    /// acknowledged length.
+    fn flush(&mut self) -> Result<(), DurableError> {
+        if self.poisoned {
+            self.pending.clear();
+            return Err(DurableError::LogPoisoned);
+        }
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        match self.file.write_all(&self.pending) {
+            Ok(()) => {
+                self.written += self.pending.len() as u64;
+                self.pending.clear();
+                Ok(())
+            }
+            Err(e) => {
+                self.pending.clear();
+                let target = self.written;
+                self.rollback_to(target);
+                Err(DurableError::Io(e))
+            }
+        }
+    }
+
+    /// Truncates the file back to `len` bytes (scrubbing a torn or
+    /// unacknowledged frame); poisons the writer if the scrub fails.
+    fn rollback_to(&mut self, len: u64) {
+        if self.file.set_len(len).is_err() || self.file.seek_end().is_err() {
+            self.poisoned = true;
+        } else {
+            self.written = len;
+        }
+    }
+
+    fn sync_data(&mut self) -> Result<(), DurableError> {
+        if self.poisoned {
+            return Err(DurableError::LogPoisoned);
+        }
+        self.file.sync_data().map_err(DurableError::Io)
+    }
+}
+
 /// A crash-safe dense sequential file: checkpoint + write-ahead log.
 ///
 /// Dereferences to [`DenseFile`] for all read operations (`get`, `range`,
 /// `rank`, statistics, invariant checking); structural commands go through
 /// [`DurableFile::insert`] / [`DurableFile::remove`] so they hit the log.
 ///
+/// Every filesystem effect goes through a [`Vfs`] (third type parameter,
+/// defaulting to the real filesystem, [`StdFs`]); the crash-consistency
+/// harness substitutes [`crate::FaultFs`] to inject torn writes, transient
+/// `EIO` and crash points deterministically.
+///
 /// ```
 /// use dsf_core::DenseFileConfig;
 /// use dsf_durable::{DurableFile, SyncPolicy};
 ///
 /// let dir = std::env::temp_dir().join(format!("dsf-doc-{}", std::process::id()));
+/// # std::fs::remove_dir_all(&dir).ok();
 /// let cfg = DenseFileConfig::control2(32, 4, 24);
 /// let mut f: DurableFile<u64, u64> =
 ///     DurableFile::create(&dir, cfg, SyncPolicy::Manual).unwrap();
@@ -103,16 +209,19 @@ impl From<DsfError> for DurableError {
 /// assert_eq!(g.len(), 2);
 /// # std::fs::remove_dir_all(&dir).ok();
 /// ```
-pub struct DurableFile<K, V> {
+pub struct DurableFile<K, V, F: Vfs = StdFs> {
+    fs: F,
     file: DenseFile<K, V>,
-    log: BufWriter<File>,
+    /// `None` after a failed checkpoint left the on-disk epoch ambiguous
+    /// (see [`DurableError::LogPoisoned`]).
+    log: Option<WalWriter<F::File>>,
     dir: PathBuf,
     policy: SyncPolicy,
     commands_since_checkpoint: u64,
     epoch: u64,
 }
 
-impl<K, V> Deref for DurableFile<K, V> {
+impl<K, V, F: Vfs> Deref for DurableFile<K, V, F> {
     type Target = DenseFile<K, V>;
 
     fn deref(&self) -> &Self::Target {
@@ -128,20 +237,39 @@ impl<K: Key + Codec, V: Codec + Clone> DurableFile<K, V> {
         config: DenseFileConfig,
         policy: SyncPolicy,
     ) -> Result<Self, DurableError> {
+        Self::create_with(StdFs, dir, config, policy)
+    }
+
+    /// Opens an existing directory: loads the checkpoint, replays the log's
+    /// valid prefix, and truncates any torn tail.
+    pub fn open<P: AsRef<Path>>(dir: P, policy: SyncPolicy) -> Result<Self, DurableError> {
+        Self::open_with(StdFs, dir, policy)
+    }
+}
+
+impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
+    /// [`DurableFile::create`] against an explicit [`Vfs`].
+    pub fn create_with<P: AsRef<Path>>(
+        fs: F,
+        dir: P,
+        config: DenseFileConfig,
+        policy: SyncPolicy,
+    ) -> Result<Self, DurableError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        if dir.join(CHECKPOINT).exists() {
+        fs.create_dir_all(&dir)?;
+        if fs.exists(&dir.join(CHECKPOINT)) {
             return Err(DurableError::Io(std::io::Error::new(
                 std::io::ErrorKind::AlreadyExists,
                 "directory already contains a checkpoint",
             )));
         }
         let file: DenseFile<K, V> = DenseFile::new(config)?;
-        write_checkpoint(&dir, &file, 0)?;
-        let log = fresh_log(&dir, 0)?;
+        write_checkpoint(&fs, &dir, &file, 0).map_err(CkptFail::into_error)?;
+        let log = fresh_log(&fs, &dir, 0)?;
         Ok(DurableFile {
+            fs,
             file,
-            log: BufWriter::new(log),
+            log: Some(log),
             dir,
             policy,
             commands_since_checkpoint: 0,
@@ -149,54 +277,63 @@ impl<K: Key + Codec, V: Codec + Clone> DurableFile<K, V> {
         })
     }
 
-    /// Opens an existing directory: loads the checkpoint, replays the log's
-    /// valid prefix, and truncates any torn tail.
-    pub fn open<P: AsRef<Path>>(dir: P, policy: SyncPolicy) -> Result<Self, DurableError> {
+    /// [`DurableFile::open`] against an explicit [`Vfs`].
+    pub fn open_with<P: AsRef<Path>>(
+        fs: F,
+        dir: P,
+        policy: SyncPolicy,
+    ) -> Result<Self, DurableError> {
         let dir = dir.as_ref().to_path_buf();
         let ckpt_path = dir.join(CHECKPOINT);
-        if !ckpt_path.exists() {
+        if !fs.exists(&ckpt_path) {
             return Err(DurableError::NotInitialized);
         }
-        let mut ckpt = File::open(&ckpt_path)?;
-        let mut epoch_bytes = [0u8; 8];
-        ckpt.read_exact(&mut epoch_bytes)?;
-        let epoch = u64::from_le_bytes(epoch_bytes);
-        let mut file: DenseFile<K, V> = DenseFile::read_snapshot(&mut ckpt)?;
+        let ckpt = fs.read(&ckpt_path)?;
+        if ckpt.len() < 8 {
+            return Err(DurableError::Snapshot(SnapshotError::Corrupt(
+                "checkpoint shorter than its epoch header",
+            )));
+        }
+        let epoch = u64::from_le_bytes(ckpt[..8].try_into().expect("eight bytes"));
+        let mut input: &[u8] = &ckpt[8..];
+        let mut file: DenseFile<K, V> = DenseFile::read_snapshot(&mut input)?;
 
         // Replay the log's valid prefix — but only if its epoch matches the
         // checkpoint's; a stale-epoch log (crash between checkpoint rename
         // and log reset) predates this checkpoint and must be discarded.
         let wal_path = dir.join(WAL);
-        let mut bytes = Vec::new();
-        if wal_path.exists() {
-            File::open(&wal_path)?.read_to_end(&mut bytes)?;
-        }
+        let bytes = if fs.exists(&wal_path) {
+            fs.read(&wal_path)?
+        } else {
+            Vec::new()
+        };
         let epoch_matches = bytes.len() >= WAL_HEADER
             && &bytes[..8] == WAL_MAGIC
             && bytes[8..16] == epoch.to_le_bytes();
         let (replayed, valid_len) = if epoch_matches {
-            let (n, len) = replay(&mut file, &bytes[WAL_HEADER..]);
+            let (n, len) = replay(&mut file, &bytes[WAL_HEADER..], epoch);
             (n, WAL_HEADER + len)
         } else {
             (0, 0)
         };
-        let mut log_file = if valid_len == 0 {
+        let log = if valid_len == 0 {
             // Missing, torn-header, or stale-epoch log: start it fresh.
-            fresh_log(&dir, epoch)?
+            fresh_log(&fs, &dir, epoch)?
         } else {
-            // Truncate a torn tail so future appends continue the prefix.
-            let f = OpenOptions::new()
-                .create(true)
-                .truncate(false)
-                .write(true)
-                .open(&wal_path)?;
+            // Truncate a torn tail so future appends continue the prefix,
+            // and make the truncation durable *before* accepting appends:
+            // otherwise a later crash could resurrect torn bytes behind
+            // frames acknowledged after this open.
+            let mut f = fs.open_rw(&wal_path)?;
             f.set_len(valid_len as u64)?;
-            f
+            f.sync_data()?;
+            f.seek_end()?;
+            WalWriter::new(f, valid_len as u64)
         };
-        log_file.seek(SeekFrom::End(0))?;
         Ok(DurableFile {
+            fs,
             file,
-            log: BufWriter::new(log_file),
+            log: Some(log),
             dir,
             policy,
             commands_since_checkpoint: replayed,
@@ -207,6 +344,9 @@ impl<K: Key + Codec, V: Codec + Clone> DurableFile<K, V> {
     /// Inserts a record durably (logged before the call returns). Returns
     /// the previous value on replacement.
     pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>, DurableError> {
+        if self.log_poisoned() {
+            return Err(DurableError::LogPoisoned);
+        }
         // Apply in memory first: only effective commands reach the log, and
         // a capacity rejection leaves both state and log untouched.
         let old = self.file.insert(key, value.clone())?;
@@ -231,6 +371,9 @@ impl<K: Key + Codec, V: Codec + Clone> DurableFile<K, V> {
 
     /// Deletes a key durably. A miss changes nothing and logs nothing.
     pub fn remove(&mut self, key: &K) -> Result<Option<V>, DurableError> {
+        if self.log_poisoned() {
+            return Err(DurableError::LogPoisoned);
+        }
         let old = self.file.remove(key);
         if let Some(v) = old {
             let mut body = vec![OP_REMOVE];
@@ -245,31 +388,37 @@ impl<K: Key + Codec, V: Codec + Clone> DurableFile<K, V> {
     }
 
     fn append(&mut self, body: &[u8]) -> Result<(), DurableError> {
+        let epoch = self.epoch;
+        let policy = self.policy;
+        let log = self.log.as_mut().ok_or(DurableError::LogPoisoned)?;
         let mut frame = Vec::with_capacity(body.len() + 12);
         (body.len() as u32).encode(&mut frame);
         frame.extend_from_slice(body);
-        fnv1a64(body).encode(&mut frame);
-        self.log.write_all(&frame)?;
-        self.commands_since_checkpoint += 1;
-        match self.policy {
-            SyncPolicy::EveryCommand => {
-                self.log.flush()?;
-                self.log.get_ref().sync_data()?;
-            }
-            SyncPolicy::Manual => {
-                // Keep bytes moving towards the OS so a *process* crash (as
-                // opposed to a power failure) loses nothing.
-                self.log.flush()?;
+        frame_checksum(epoch, body).encode(&mut frame);
+        let base = log.written;
+        log.append(&frame);
+        // Both policies move the bytes to the OS immediately, so a
+        // *process* crash (as opposed to a power failure) loses nothing.
+        log.flush()?;
+        if policy == SyncPolicy::EveryCommand {
+            if let Err(e) = log.sync_data() {
+                // The frame is on disk but was never made durable and the
+                // caller will be told the command failed (and memory
+                // undone): scrub it so recovery cannot replay a command
+                // the caller believes never happened.
+                log.rollback_to(base);
+                return Err(e);
             }
         }
+        self.commands_since_checkpoint += 1;
         Ok(())
     }
 
     /// Forces the log to stable storage.
     pub fn sync(&mut self) -> Result<(), DurableError> {
-        self.log.flush()?;
-        self.log.get_ref().sync_data()?;
-        Ok(())
+        let log = self.log.as_mut().ok_or(DurableError::LogPoisoned)?;
+        log.flush()?;
+        log.sync_data()
     }
 
     /// Writes a fresh checkpoint atomically and starts a new log epoch.
@@ -278,15 +427,46 @@ impl<K: Key + Codec, V: Codec + Clone> DurableFile<K, V> {
     /// the directory fsynced *before* the log is reset; a crash in between
     /// leaves an epoch-`e` log next to an epoch-`e+1` checkpoint, which
     /// recovery discards instead of replaying stale commands.
+    ///
+    /// Failure-safety: a failure before the rename leaves the old
+    /// checkpoint + log fully intact and the file usable. A failure at or
+    /// after the point where the new checkpoint may be durable **poisons
+    /// the log** ([`DurableError::LogPoisoned`]): structural commands are
+    /// refused (they could be appended to a log that recovery would
+    /// discard) until a `checkpoint` retry succeeds. This call is the
+    /// retry: it is safe and meaningful to call again after any failure.
     pub fn checkpoint(&mut self) -> Result<(), DurableError> {
         let new_epoch = self.epoch + 1;
-        write_checkpoint(&self.dir, &self.file, new_epoch)?;
-        self.log.flush()?;
-        let log = fresh_log(&self.dir, new_epoch)?;
-        self.log = BufWriter::new(log);
-        self.epoch = new_epoch;
-        self.commands_since_checkpoint = 0;
-        Ok(())
+        if let Err(fail) = write_checkpoint(&self.fs, &self.dir, &self.file, new_epoch) {
+            return match fail {
+                CkptFail::Before(e) => Err(e),
+                CkptFail::After(e) => {
+                    self.log = None;
+                    Err(e)
+                }
+            };
+        }
+        match fresh_log(&self.fs, &self.dir, new_epoch) {
+            Ok(log) => {
+                self.log = Some(log);
+                self.epoch = new_epoch;
+                self.commands_since_checkpoint = 0;
+                Ok(())
+            }
+            Err(e) => {
+                // The epoch-(e+1) checkpoint is durable but the log still
+                // carries epoch e: one more append would be silently
+                // discarded by recovery. Refuse commands until a retry.
+                self.log = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether the log is poisoned (structural commands are refused until
+    /// a successful [`checkpoint`](Self::checkpoint) retry or a reopen).
+    pub fn log_poisoned(&self) -> bool {
+        self.log.as_ref().is_none_or(|l| l.poisoned)
     }
 
     /// The current checkpoint epoch.
@@ -306,51 +486,69 @@ impl<K: Key + Codec, V: Codec + Clone> DurableFile<K, V> {
     }
 }
 
-fn write_checkpoint<K: Key + Codec, V: Codec>(
+/// How far a failed checkpoint got, which decides whether the old log is
+/// still trustworthy.
+enum CkptFail {
+    /// Nothing of the new checkpoint can be visible: old state intact.
+    Before(DurableError),
+    /// The rename happened (or may be durable): the old-epoch log must not
+    /// accept further appends.
+    After(DurableError),
+}
+
+impl CkptFail {
+    fn into_error(self) -> DurableError {
+        match self {
+            CkptFail::Before(e) | CkptFail::After(e) => e,
+        }
+    }
+}
+
+fn write_checkpoint<F: Vfs, K: Key + Codec, V: Codec>(
+    fs: &F,
     dir: &Path,
     file: &DenseFile<K, V>,
     epoch: u64,
-) -> Result<(), DurableError> {
+) -> Result<(), CkptFail> {
     let tmp = dir.join(CHECKPOINT_TMP);
-    {
-        let mut out = File::create(&tmp)?;
+    let write_tmp = || -> Result<(), DurableError> {
+        let mut out = fs.create(&tmp)?;
         out.write_all(&epoch.to_le_bytes())?;
         file.write_snapshot(&mut out)?;
         out.sync_all()?;
-    }
-    std::fs::rename(&tmp, dir.join(CHECKPOINT))?;
+        Ok(())
+    };
+    write_tmp().map_err(CkptFail::Before)?;
+    // rename is atomic: an error means it did not happen.
+    fs.rename(&tmp, &dir.join(CHECKPOINT))
+        .map_err(|e| CkptFail::Before(DurableError::Io(e)))?;
     // Make the rename itself durable: fsync the parent directory so a power
     // failure cannot resurrect the old checkpoint after the caller was told
-    // the new one is safe.
-    fsync_dir(dir)?;
+    // the new one is safe. From here on the new checkpoint may be durable.
+    fs.sync_dir(dir)
+        .map_err(|e| CkptFail::After(DurableError::Io(e)))?;
     Ok(())
 }
 
 /// Creates (or truncates) the WAL with a fresh epoch header, synced.
-fn fresh_log(dir: &Path, epoch: u64) -> Result<File, DurableError> {
-    let mut f = OpenOptions::new()
-        .create(true)
-        .truncate(true)
-        .write(true)
-        .open(dir.join(WAL))?;
-    f.write_all(WAL_MAGIC)?;
-    f.write_all(&epoch.to_le_bytes())?;
+fn fresh_log<F: Vfs>(fs: &F, dir: &Path, epoch: u64) -> Result<WalWriter<F::File>, DurableError> {
+    let mut f = fs.create(&dir.join(WAL))?;
+    let mut header = Vec::with_capacity(WAL_HEADER);
+    header.extend_from_slice(WAL_MAGIC);
+    header.extend_from_slice(&epoch.to_le_bytes());
+    f.write_all(&header)?;
     f.sync_data()?;
-    Ok(f)
-}
-
-/// Best-effort directory fsync (a no-op error on platforms that refuse to
-/// open directories is swallowed — the rename is still ordered on those).
-fn fsync_dir(dir: &Path) -> Result<(), DurableError> {
-    if let Ok(d) = File::open(dir) {
-        d.sync_all()?;
-    }
-    Ok(())
+    Ok(WalWriter::new(f, WAL_HEADER as u64))
 }
 
 /// Applies every complete, checksum-valid record of `bytes` to `file`;
-/// returns `(commands replayed, valid prefix length)`.
-fn replay<K: Key + Codec, V: Codec>(file: &mut DenseFile<K, V>, bytes: &[u8]) -> (u64, usize) {
+/// returns `(commands replayed, valid prefix length)`. Checksums are
+/// validated under `epoch` (see [`frame_checksum`]).
+fn replay<K: Key + Codec, V: Codec>(
+    file: &mut DenseFile<K, V>,
+    bytes: &[u8],
+    epoch: u64,
+) -> (u64, usize) {
     let mut pos = 0usize;
     let mut replayed = 0u64;
     loop {
@@ -365,8 +563,8 @@ fn replay<K: Key + Codec, V: Codec>(file: &mut DenseFile<K, V>, bytes: &[u8]) ->
         let body = &rest[4..4 + len];
         let stored =
             u64::from_le_bytes(rest[4 + len..4 + len + 8].try_into().expect("eight bytes"));
-        if fnv1a64(body) != stored {
-            break; // corrupt record: stop at the valid prefix
+        if frame_checksum(epoch, body) != stored {
+            break; // corrupt (or stale-epoch) record: stop at the valid prefix
         }
         if !apply(file, body) {
             break; // malformed body — treat like corruption
@@ -553,7 +751,7 @@ mod tests {
 
     /// The exact crash window the epoch header exists for: new checkpoint
     /// renamed, old (stale) log still on disk. Recovery must discard the
-    /// stale log rather than replay it onto the new state.
+    /// stale log rather than replay it.
     #[test]
     fn stale_log_after_checkpoint_crash_is_discarded() {
         let dir = tempdir("epoch");
@@ -586,6 +784,39 @@ mod tests {
             vec![(1, 2), (9, 9)],
             "state is the checkpoint, not a stale replay"
         );
+        g.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The harder variant of the stale-log window: the log reset tore
+    /// *mid-header*, leaving the **new** epoch bytes stitched onto **old**
+    /// frame bytes. The epoch check alone passes; only the epoch-salted
+    /// frame checksums stop the stale frames from replaying.
+    #[test]
+    fn stale_frames_under_a_new_epoch_header_are_rejected() {
+        let dir = tempdir("epoch-salt");
+        let mut f: DurableFile<u64, u64> =
+            DurableFile::create(&dir, cfg(), SyncPolicy::Manual).unwrap();
+        for k in 0..10u64 {
+            f.insert(k, k).unwrap();
+        }
+        f.sync().unwrap();
+        let stale_log = std::fs::read(dir.join(WAL)).unwrap();
+        f.checkpoint().unwrap(); // epoch 1, log reset
+        drop(f);
+        // Simulated torn reset: header bytes (with the new epoch) persisted,
+        // but the truncation of the old frames did not.
+        let mut mixed = std::fs::read(dir.join(WAL)).unwrap(); // fresh header, epoch 1
+        mixed.extend_from_slice(&stale_log[WAL_HEADER..]); // old epoch-0 frames
+        std::fs::write(dir.join(WAL), &mixed).unwrap();
+
+        let g: DurableFile<u64, u64> = DurableFile::open(&dir, SyncPolicy::Manual).unwrap();
+        assert_eq!(
+            g.commands_since_checkpoint(),
+            0,
+            "epoch-salted checksums must reject stale frames under a current header"
+        );
+        assert_eq!(g.len(), 10, "state is exactly the checkpoint");
         g.check_invariants().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -651,6 +882,8 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e: DurableError = DsfError::CapacityExceeded { capacity: 9 }.into();
         assert!(e.to_string().contains("9"));
+        let e = DurableError::LogPoisoned;
+        assert!(e.to_string().contains("poisoned"));
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Deterministic fault injection for [`PageBackend`]s.
+//!
+//! [`FaultBackend`] wraps any inner backend and models the split every
+//! storage stack lives with: a **volatile** layer (what a reader sees — the
+//! OS page cache) and a **durable** layer (what survives a power cut — the
+//! inner backend). `write_run` lands pages in a volatile overlay;
+//! [`FaultBackend::sync`] flushes the overlay to the inner backend; a
+//! [`power_cycle`](FaultBackend::power_cycle) adversarially decides, per
+//! unsynced page, whether it persisted fully, was lost, or was **torn** at a
+//! seeded byte boundary.
+//!
+//! A seeded schedule in the style of `dsf_durable::FaultPlan` (crash at the
+//! Nth backend call, transient `EIO` at chosen calls) makes every failure
+//! reproducible from a single `u64` seed — the crash-consistency harness
+//! sweeps the crash point across an entire workload and checks recovery
+//! after each.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use crate::pool::PageBackend;
+
+/// What a [`FaultBackend::power_cycle`] decided about each unsynced page.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashSummary {
+    /// Unsynced pages that made it to the durable layer intact.
+    pub persisted: Vec<u64>,
+    /// Unsynced pages that were lost entirely (durable layer keeps its old
+    /// contents).
+    pub dropped: Vec<u64>,
+    /// Unsynced pages torn at a seeded byte boundary: a prefix of the new
+    /// bytes over a suffix of the old.
+    pub torn: Vec<u64>,
+}
+
+/// A [`PageBackend`] wrapper injecting deterministic, seeded faults.
+///
+/// Faults are counted in *backend calls*: every `read_run`, `write_run` and
+/// [`sync`](Self::sync) increments a 1-based call counter checked against
+/// the armed schedule. A **transient `EIO`** fails the call with no effect;
+/// a **crash** applies a seeded partial effect (for `write_run`: some whole
+/// pages plus at most one torn page reach the volatile overlay) and then
+/// kills the backend — every further call errors until
+/// [`power_cycle`](Self::power_cycle) simulates the reboot.
+#[derive(Debug)]
+pub struct FaultBackend<B: PageBackend> {
+    inner: B,
+    /// Volatile layer: pages written but not yet synced to `inner`.
+    overlay: BTreeMap<u64, Vec<u8>>,
+    crash_at: Option<u64>,
+    eio_at: Vec<u64>,
+    rng: u64,
+    calls: u64,
+    injected_eio: u64,
+    crashed: bool,
+    /// Pages accepted by `write_run` (including the partial pages of a
+    /// crashed call).
+    pages_written: u64,
+    /// Pages flushed to the durable layer by successful `sync` calls.
+    pages_synced: u64,
+}
+
+enum Gate {
+    Proceed,
+    Eio,
+    Crash,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn dead() -> io::Error {
+    io::Error::other("fault backend: crashed (call power_cycle to reboot)")
+}
+
+impl<B: PageBackend> FaultBackend<B> {
+    /// Wraps `inner` with no faults armed; `seed` drives every later
+    /// seeded decision (torn-write cuts, power-cycle outcomes).
+    pub fn new(inner: B, seed: u64) -> Self {
+        FaultBackend {
+            inner,
+            overlay: BTreeMap::new(),
+            crash_at: None,
+            eio_at: Vec::new(),
+            rng: seed ^ 0xdead_beef_cafe_f00d,
+            calls: 0,
+            injected_eio: 0,
+            crashed: false,
+            pages_written: 0,
+            pages_synced: 0,
+        }
+    }
+
+    /// Arms a crash at the `n`th backend call from now (1-based over the
+    /// lifetime counter; pass the absolute call number).
+    pub fn set_crash_at(&mut self, n: Option<u64>) {
+        self.crash_at = n;
+    }
+
+    /// Arms transient `EIO`s at the given absolute call numbers.
+    pub fn set_eio_at(&mut self, ns: Vec<u64>) {
+        self.eio_at = ns;
+    }
+
+    /// Backend calls made so far (the unit the fault schedule counts in).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Transient `EIO`s injected so far.
+    pub fn injected_eio(&self) -> u64 {
+        self.injected_eio
+    }
+
+    /// Whether an armed crash point has fired (and no reboot happened yet).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Pages accepted by `write_run` so far.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written
+    }
+
+    /// Pages flushed to the durable layer by `sync` so far.
+    pub fn pages_synced(&self) -> u64 {
+        self.pages_synced
+    }
+
+    /// Pages currently dirty in the volatile overlay (would be lost or torn
+    /// by a power cycle).
+    pub fn unsynced_pages(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// The inner (durable-layer) backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Reads a page's *durable* bytes, bypassing the volatile overlay —
+    /// what a post-crash reader would see. Not counted as a backend call.
+    pub fn read_durable(&mut self, page: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_run(page, buf)
+    }
+
+    /// Flushes the volatile overlay to the durable layer. Counted as one
+    /// backend call; a crash here persists nothing, a transient `EIO`
+    /// leaves the overlay intact for a retry.
+    pub fn sync(&mut self) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => {}
+            Gate::Eio => return Err(io::Error::other("fault backend: injected EIO on sync")),
+            Gate::Crash => return Err(dead()),
+        }
+        let pages: Vec<u64> = self.overlay.keys().copied().collect();
+        for page in pages {
+            let data = self.overlay.remove(&page).expect("listed key");
+            self.inner.write_run(page, &data)?;
+            self.pages_synced += 1;
+        }
+        Ok(())
+    }
+
+    /// Simulates the power cut and reboot: every unsynced overlay page gets
+    /// a seeded outcome — persisted intact, dropped, or torn at a seeded
+    /// byte boundary (new prefix over old suffix). Clears the overlay,
+    /// disarms the fault schedule, and revives the backend. Deterministic
+    /// in the construction seed.
+    pub fn power_cycle(&mut self) -> io::Result<CrashSummary> {
+        let page_size = self.inner.page_size();
+        let mut summary = CrashSummary::default();
+        let overlay = std::mem::take(&mut self.overlay);
+        for (page, new) in overlay {
+            match splitmix(&mut self.rng) % 4 {
+                0 => {
+                    self.inner.write_run(page, &new)?;
+                    summary.persisted.push(page);
+                }
+                1 => summary.dropped.push(page),
+                _ => {
+                    let cut = (splitmix(&mut self.rng) % (page_size as u64 + 1)) as usize;
+                    let mut old = vec![0u8; page_size];
+                    self.inner.read_run(page, &mut old)?;
+                    old[..cut].copy_from_slice(&new[..cut]);
+                    self.inner.write_run(page, &old)?;
+                    summary.torn.push(page);
+                }
+            }
+        }
+        self.crashed = false;
+        self.crash_at = None;
+        self.eio_at.clear();
+        Ok(summary)
+    }
+
+    fn gate(&mut self) -> io::Result<Gate> {
+        if self.crashed {
+            return Err(dead());
+        }
+        self.calls += 1;
+        let n = self.calls;
+        if self.eio_at.contains(&n) {
+            self.injected_eio += 1;
+            return Ok(Gate::Eio);
+        }
+        if self.crash_at == Some(n) {
+            self.crashed = true;
+            return Ok(Gate::Crash);
+        }
+        Ok(Gate::Proceed)
+    }
+
+    /// The visible bytes of `page`: overlay if dirty, else durable.
+    fn visible_page(&mut self, page: u64, buf: &mut [u8]) -> io::Result<()> {
+        if let Some(data) = self.overlay.get(&page) {
+            buf.copy_from_slice(data);
+            Ok(())
+        } else {
+            self.inner.read_run(page, buf)
+        }
+    }
+}
+
+impl<B: PageBackend> PageBackend for FaultBackend<B> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_run(&mut self, first_page: u64, buf: &mut [u8]) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => {}
+            Gate::Eio => return Err(io::Error::other("fault backend: injected EIO on read")),
+            // A crash on a read has no partial effect to apply.
+            Gate::Crash => return Err(dead()),
+        }
+        let page_size = self.inner.page_size();
+        for (i, chunk) in buf.chunks_exact_mut(page_size).enumerate() {
+            let page = first_page + i as u64;
+            if let Some(data) = self.overlay.get(&page) {
+                chunk.copy_from_slice(data);
+            } else {
+                self.inner.read_run(page, chunk)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn write_run(&mut self, first_page: u64, data: &[u8]) -> io::Result<()> {
+        let gate = self.gate()?;
+        let page_size = self.inner.page_size();
+        let n_pages = data.len() / page_size;
+        match gate {
+            Gate::Proceed => {
+                for (i, chunk) in data.chunks_exact(page_size).enumerate() {
+                    self.overlay.insert(first_page + i as u64, chunk.to_vec());
+                    self.pages_written += 1;
+                }
+                Ok(())
+            }
+            Gate::Eio => Err(io::Error::other("fault backend: injected EIO on write")),
+            Gate::Crash => {
+                // Partial effect: the first k whole pages land, and the
+                // next page may land torn at a seeded byte cut.
+                let k = (splitmix(&mut self.rng) % (n_pages as u64 + 1)) as usize;
+                for (i, chunk) in data.chunks_exact(page_size).enumerate().take(k) {
+                    self.overlay.insert(first_page + i as u64, chunk.to_vec());
+                    self.pages_written += 1;
+                }
+                if k < n_pages {
+                    let page = first_page + k as u64;
+                    let cut = (splitmix(&mut self.rng) % (page_size as u64 + 1)) as usize;
+                    if cut > 0 {
+                        let mut torn = vec![0u8; page_size];
+                        // Caution: visible_page re-borrows self; build the
+                        // torn page from the pre-write visible bytes.
+                        self.visible_page(page, &mut torn)?;
+                        torn[..cut].copy_from_slice(&data[k * page_size..k * page_size + cut]);
+                        self.overlay.insert(page, torn);
+                        self.pages_written += 1;
+                    }
+                }
+                Err(dead())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::MemBackend;
+
+    const PS: usize = 32;
+
+    fn filled(byte: u8) -> Vec<u8> {
+        vec![byte; PS]
+    }
+
+    fn backend() -> FaultBackend<MemBackend> {
+        let mut fb = FaultBackend::new(MemBackend::new(PS), 42);
+        for p in 0..8u64 {
+            fb.write_run(p, &filled(p as u8)).unwrap();
+        }
+        fb.sync().unwrap();
+        fb
+    }
+
+    #[test]
+    fn reads_see_unsynced_writes_but_durable_layer_does_not() {
+        let mut fb = backend();
+        fb.write_run(3, &filled(0xaa)).unwrap();
+        let mut buf = filled(0);
+        fb.read_run(3, &mut buf).unwrap();
+        assert_eq!(buf, filled(0xaa), "visible read must include the overlay");
+        fb.read_durable(3, &mut buf).unwrap();
+        assert_eq!(buf, filled(3), "durable layer unchanged before sync");
+        fb.sync().unwrap();
+        fb.read_durable(3, &mut buf).unwrap();
+        assert_eq!(buf, filled(0xaa), "sync promotes the overlay");
+    }
+
+    #[test]
+    fn transient_eio_has_no_effect_and_retry_succeeds() {
+        let mut fb = backend();
+        let next = fb.calls() + 1;
+        fb.set_eio_at(vec![next]);
+        assert!(fb.write_run(0, &filled(9)).is_err());
+        let mut buf = filled(0);
+        fb.read_run(0, &mut buf).unwrap();
+        assert_eq!(buf, filled(0), "EIO write must not land");
+        fb.write_run(0, &filled(9)).unwrap();
+        fb.read_run(0, &mut buf).unwrap();
+        assert_eq!(buf, filled(9));
+        assert_eq!(fb.injected_eio(), 1);
+    }
+
+    #[test]
+    fn crash_tears_a_multi_page_run_at_a_page_and_byte_boundary() {
+        let mut fb = backend();
+        let next = fb.calls() + 1;
+        fb.set_crash_at(Some(next));
+        let mut run = Vec::new();
+        for _ in 0..4 {
+            run.extend_from_slice(&filled(0xbb));
+        }
+        assert!(fb.write_run(2, &run).is_err());
+        assert!(fb.crashed());
+        assert!(fb.read_run(2, &mut filled(0)).is_err(), "dead until reboot");
+        fb.power_cycle().unwrap();
+        // Every page is now old, new, or a torn new-prefix/old-suffix mix.
+        for p in 2..6u64 {
+            let mut buf = filled(0);
+            fb.read_run(p, &mut buf).unwrap();
+            let cut = buf.iter().take_while(|&&b| b == 0xbb).count();
+            assert!(
+                buf[cut..].iter().all(|&b| b == p as u8),
+                "page {p} must be a clean tear, got {buf:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_on_sync_persists_nothing_from_that_call() {
+        let mut fb = backend();
+        fb.write_run(1, &filled(0x11)).unwrap();
+        let next = fb.calls() + 1;
+        fb.set_crash_at(Some(next));
+        assert!(fb.sync().is_err());
+        assert_eq!(fb.unsynced_pages(), 1, "overlay intact after crashed sync");
+        let mut buf = filled(0);
+        fb.read_durable(1, &mut buf).unwrap();
+        assert_eq!(buf, filled(1));
+    }
+
+    #[test]
+    fn power_cycle_is_deterministic_in_the_seed() {
+        let outcome = |seed: u64| {
+            let mut fb = FaultBackend::new(MemBackend::new(PS), seed);
+            for p in 0..8u64 {
+                fb.write_run(p, &filled(p as u8)).unwrap();
+            }
+            fb.sync().unwrap();
+            for p in 0..8u64 {
+                fb.write_run(p, &filled(0xcc)).unwrap();
+            }
+            let summary = fb.power_cycle().unwrap();
+            let mut bytes = Vec::new();
+            for p in 0..8u64 {
+                let mut buf = filled(0);
+                fb.read_run(p, &mut buf).unwrap();
+                bytes.extend_from_slice(&buf);
+            }
+            (summary, bytes)
+        };
+        assert_eq!(outcome(7), outcome(7));
+        assert_ne!(
+            outcome(7).1,
+            outcome(8).1,
+            "different seeds should tear differently"
+        );
+    }
+
+    #[test]
+    fn counters_reconcile_on_a_clean_run() {
+        let mut fb = backend();
+        assert_eq!(fb.pages_written(), 8);
+        assert_eq!(fb.pages_synced(), 8);
+        assert_eq!(fb.unsynced_pages(), 0);
+        fb.write_run(0, &filled(1)).unwrap();
+        fb.write_run(1, &filled(2)).unwrap();
+        assert_eq!(fb.pages_written(), 10);
+        fb.sync().unwrap();
+        assert_eq!(fb.pages_synced(), 10);
+        assert_eq!(
+            fb.inner().pages_written,
+            10,
+            "durable layer saw exactly the synced pages"
+        );
+    }
+}

@@ -40,6 +40,7 @@
 pub mod cache;
 pub mod coalesce;
 pub mod disk;
+pub mod fault;
 mod lru;
 pub mod pool;
 mod record;
@@ -49,6 +50,7 @@ mod trace;
 
 pub use cache::{CacheStats, LruCacheSim};
 pub use coalesce::{coalesce, PageRun, RunCoalescer};
+pub use fault::{CrashSummary, FaultBackend};
 pub use pool::{BufferPool, MemBackend, PageBackend, PoolStats};
 pub use record::{Key, Record};
 pub use stats::{IoDelta, IoSnapshot, IoStats};

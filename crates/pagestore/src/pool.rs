@@ -278,9 +278,26 @@ impl<B: PageBackend> BufferPool<B> {
         Ok(self.backend)
     }
 
+    /// Hands the backend back **without** flushing, discarding any dirty
+    /// frames — the "process died" teardown of the crash-consistency
+    /// harness, where resident state is gone by definition and only what
+    /// already reached the backend survives.
+    pub fn into_backend_lossy(self) -> B {
+        self.backend
+    }
+
     /// Shared access to the backend (e.g. to read its counters).
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Exclusive access to the backend — for backend-level operations that
+    /// are not page I/O, such as forcing a [`crate::FaultBackend`]'s
+    /// unsynced overlay to stable storage or arming a fault plan. Page
+    /// *contents* must still go through the pool, or resident frames go
+    /// stale.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// Replays a recorded trace through the pool: `Read` events via

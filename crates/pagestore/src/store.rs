@@ -419,6 +419,17 @@ impl<K: Key, V> PagedStore<K, V> {
         self.slots[slot as usize] = recs;
     }
 
+    /// Replaces the raw contents of `slot` with **no** ordering validation
+    /// and **no** access charges. **Audit and tests only** — this is the
+    /// back door invariant-checker tests use to construct deliberately
+    /// corrupted stores (unsorted slots, cross-slot disorder, overfull
+    /// slots) that the counted mutators refuse to produce.
+    pub fn corrupt_slot_for_audit(&mut self, slot: SlotId, recs: Vec<Record<K, V>>) {
+        let old_len = self.slots[slot as usize].len();
+        self.total = self.total - old_len + recs.len();
+        self.slots[slot as usize] = recs;
+    }
+
     /// Reads the records of one physical page of `slot`, charging one read.
     ///
     /// `page` is the page index within the slot; the returned slice is the
@@ -653,6 +664,21 @@ mod tests {
             d.reads >= 1 && d.reads <= 3,
             "probes span at most log pages, got {}",
             d.reads
+        );
+    }
+
+    #[test]
+    fn corrupt_slot_for_audit_is_free_and_unchecked() {
+        let mut st = store(2, 1, 4);
+        st.insert(0, 5, 0);
+        let snap = st.stats().snapshot();
+        // Unsorted contents that `replace` would debug-panic on.
+        st.corrupt_slot_for_audit(0, vec![Record::new(9, 0), Record::new(3, 0)]);
+        assert_eq!(st.stats().since(snap).accesses(), 0);
+        assert_eq!(st.total_records(), 2);
+        assert_eq!(
+            st.peek_slot(0).iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![9, 3]
         );
     }
 

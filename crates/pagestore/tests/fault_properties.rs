@@ -1,0 +1,198 @@
+//! Crash-point sweep over the `BufferPool` writeback path.
+//!
+//! A versioned workload runs against a [`BufferPool`] over a
+//! [`FaultBackend`]; the crash point sweeps across **every** backend call
+//! the workload makes. After each crash the power cycle adversarially
+//! persists/drops/tears the unsynced overlay, and the durable image must
+//! still be explainable: every page is a stack of version fragments, newer
+//! bytes strictly above older ones, and never older than the last
+//! acknowledged sync — i.e. fsynced data survives, unfsynced data may be
+//! lost or torn but never resurrects the past or interleaves.
+
+use dsf_pagestore::{BufferPool, FaultBackend, MemBackend, PageBackend};
+
+const PAGE_SIZE: usize = 32;
+const PAGES: u64 = 16;
+const POOL_CAP: usize = 6;
+const ROUNDS: u8 = 3;
+
+/// The bytes of `page` at `version`. Any two versions differ at **every**
+/// byte index (61·v is distinct mod 256 for v ≤ 3), so a durable page can
+/// be decoded byte-by-byte into the version each byte came from.
+fn pattern(page: u64, version: u8) -> Vec<u8> {
+    (0..PAGE_SIZE)
+        .map(|i| {
+            (version.wrapping_mul(61))
+                .wrapping_add((page as u8).wrapping_mul(31))
+                .wrapping_add((i as u8).wrapping_mul(13))
+                .wrapping_add(7)
+        })
+        .collect()
+}
+
+/// Decodes a durable page into the version of each byte; panics if any byte
+/// belongs to no version ≤ `ROUNDS`.
+fn decode_versions(page: u64, bytes: &[u8]) -> Vec<u8> {
+    bytes
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            (0..=ROUNDS)
+                .find(|&v| pattern(page, v)[i] == b)
+                .unwrap_or_else(|| panic!("page {page} byte {i} = {b:#x} matches no version"))
+        })
+        .collect()
+}
+
+fn seeded_backend(seed: u64) -> FaultBackend<MemBackend> {
+    // Initialize the durable layer at version 0 *before* wrapping, so setup
+    // I/O is neither counted nor faulted.
+    let mut mem = MemBackend::new(PAGE_SIZE);
+    for p in 0..PAGES {
+        mem.write_run(p, &pattern(p, 0)).unwrap();
+    }
+    FaultBackend::new(mem, seed)
+}
+
+/// Runs the versioned workload until completion or the first injected
+/// error. Returns the last round whose sync was acknowledged.
+fn run_workload(pool: &mut BufferPool<FaultBackend<MemBackend>>) -> u8 {
+    let mut synced_round = 0u8;
+    'rounds: for round in 1..=ROUNDS {
+        for p in 0..PAGES {
+            let Ok(frame) = pool.get_mut(p) else {
+                break 'rounds;
+            };
+            frame.copy_from_slice(&pattern(p, round));
+        }
+        if pool.flush_all().is_err() {
+            break;
+        }
+        if pool.backend_mut().sync().is_err() {
+            break;
+        }
+        synced_round = round;
+    }
+    synced_round
+}
+
+fn fresh_pool(seed: u64, crash_at: Option<u64>) -> BufferPool<FaultBackend<MemBackend>> {
+    let mut fb = seeded_backend(seed);
+    fb.set_crash_at(crash_at);
+    let mut pool = BufferPool::new(fb, POOL_CAP);
+    // One write_run per page: many distinct crash points on the writeback
+    // path (the coalesced discipline is covered by run_io_properties).
+    pool.set_coalescing(false);
+    pool
+}
+
+/// Checks one durable page image against the crash contract.
+fn check_page(page: u64, bytes: &[u8], synced_round: u8, crash_at: u64) {
+    let versions = decode_versions(page, bytes);
+    for w in versions.windows(2) {
+        assert!(
+            w[0] >= w[1],
+            "crash@{crash_at} page {page}: version went up left-to-right ({versions:?}) — \
+             interleaved old-over-new write"
+        );
+    }
+    let min = *versions.iter().min().unwrap();
+    assert!(
+        min >= synced_round,
+        "crash@{crash_at} page {page}: byte older than the last acknowledged sync \
+         (round {synced_round}, saw version {min}) — durability violated"
+    );
+}
+
+#[test]
+fn crash_sweep_over_every_writeback_call_never_loses_synced_data() {
+    let seed: u64 = std::env::var("DSF_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xfe11_5afe);
+
+    // Dry run: count the backend calls the workload makes.
+    let mut dry = fresh_pool(seed, None);
+    let synced = run_workload(&mut dry);
+    assert_eq!(synced, ROUNDS, "dry run must complete");
+    let total_calls = dry.backend().calls();
+    assert!(
+        total_calls >= 60,
+        "workload too small to be a meaningful sweep: {total_calls} backend calls"
+    );
+
+    let mut crash_points = 0u64;
+    for n in 1..=total_calls {
+        let mut pool = fresh_pool(seed ^ n, Some(n));
+        let synced_round = run_workload(&mut pool);
+        let mut fb = pool.into_backend_lossy();
+        assert!(fb.crashed(), "crash point {n} never fired");
+        fb.power_cycle().unwrap();
+        crash_points += 1;
+
+        // The process is gone; recovery sees only the durable layer.
+        let mut recovered = BufferPool::new(fb, POOL_CAP);
+        for p in 0..PAGES {
+            let bytes = recovered.get(p).unwrap().to_vec();
+            check_page(p, &bytes, synced_round, n);
+        }
+        // Counter reconciliation: the fresh pool faulted every page in.
+        let stats = recovered.stats();
+        assert_eq!(stats.accesses, PAGES);
+        assert_eq!(stats.misses, PAGES);
+        assert_eq!(stats.hits, 0);
+    }
+    assert!(
+        crash_points >= 60,
+        "swept only {crash_points} crash points on the writeback path"
+    );
+}
+
+#[test]
+fn transient_eio_on_writeback_is_retryable_and_lossless() {
+    let seed = 0x0e10_0e10u64;
+    let mut pool = fresh_pool(seed, None);
+    // Fault the 3rd backend call from now — a flush_all writeback.
+    for p in 0..PAGES {
+        pool.get_mut(p).unwrap().copy_from_slice(&pattern(p, 1));
+    }
+    let next = pool.backend().calls() + 3;
+    pool.backend_mut().set_eio_at(vec![next]);
+    let err = pool.flush_all();
+    assert!(err.is_err(), "injected EIO must surface");
+    assert_eq!(pool.backend().injected_eio(), 1);
+    // The failed page is still dirty; a plain retry completes the flush.
+    pool.flush_all().unwrap();
+    pool.backend_mut().sync().unwrap();
+    let mut fb = pool.into_backend_lossy();
+    for p in 0..PAGES {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        fb.read_durable(p, &mut buf).unwrap();
+        assert_eq!(buf, pattern(p, 1), "page {p} lost by a retried EIO");
+    }
+}
+
+#[test]
+fn crash_during_sync_keeps_durable_layer_at_previous_round() {
+    let seed = 0x5111_c001u64;
+    let mut pool = fresh_pool(seed, None);
+    for p in 0..PAGES {
+        pool.get_mut(p).unwrap().copy_from_slice(&pattern(p, 1));
+    }
+    pool.flush_all().unwrap();
+    pool.backend_mut().sync().unwrap();
+    for p in 0..PAGES {
+        pool.get_mut(p).unwrap().copy_from_slice(&pattern(p, 2));
+    }
+    pool.flush_all().unwrap();
+    let next = pool.backend().calls() + 1;
+    pool.backend_mut().set_crash_at(Some(next));
+    assert!(pool.backend_mut().sync().is_err(), "sync must crash");
+    let mut fb = pool.into_backend_lossy();
+    fb.power_cycle().unwrap();
+    for p in 0..PAGES {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        fb.read_durable(p, &mut buf).unwrap();
+        check_page(p, &buf, 1, next);
+    }
+}

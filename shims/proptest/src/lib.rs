@@ -12,6 +12,13 @@
 //! are **not shrunk** — the macro simply panics with the failing assertion,
 //! which is enough for CI. Generation is deterministic per test name, so a
 //! failure reproduces on re-run.
+//!
+//! Like real proptest, a **regression corpus** is honored: the macro reads
+//! `proptest-regressions/<source file stem>.txt` under the calling crate's
+//! manifest dir and replays every `cc <test_name> <hex-seed>` line *before*
+//! the random sweep, so once a failing seed is checked in the bug stays
+//! fixed. Each random case runs from its own pinnable seed; on failure the
+//! exact `cc` line to check in is printed alongside the panic.
 
 #![forbid(unsafe_code)]
 
@@ -384,6 +391,82 @@ impl std::fmt::Display for TestCaseError {
 
 impl std::error::Error for TestCaseError {}
 
+// ---------------------------------------------------------------------
+// Regression corpus.
+// ---------------------------------------------------------------------
+
+/// Reads the pinned regression seeds for `test_name` from
+/// `<manifest_dir>/proptest-regressions/<stem of source_file>.txt`.
+///
+/// The file format is one case per line, `cc <test_name> <hex-seed>`
+/// (the seed without a `0x` prefix); blank lines and `#` comments are
+/// ignored. A missing file means an empty corpus. The [`proptest!`] macro
+/// replays these seeds before its random sweep; hand-rolled harnesses can
+/// call this directly with `env!("CARGO_MANIFEST_DIR")` and `file!()`.
+pub fn corpus_seeds(manifest_dir: &str, source_file: &str, test_name: &str) -> Vec<u64> {
+    let stem = std::path::Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("cc") || parts.next() != Some(test_name) {
+                return None;
+            }
+            u64::from_str_radix(parts.next()?, 16).ok()
+        })
+        .collect()
+}
+
+/// Prints the corpus line for a failing case while the panic unwinds, so
+/// the seed survives even when the failure is an `assert!` (which bypasses
+/// the macro's own error path). Used by [`proptest!`]; not public API in
+/// real proptest.
+#[doc(hidden)]
+pub struct SeedReporter {
+    name: &'static str,
+    seed: u64,
+    armed: bool,
+}
+
+impl SeedReporter {
+    /// Arms the reporter for one case.
+    pub fn new(name: &'static str, seed: u64) -> Self {
+        SeedReporter {
+            name,
+            seed,
+            armed: true,
+        }
+    }
+
+    /// The case finished cleanly; stay silent.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SeedReporter {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: pin this failure in proptest-regressions/ with: cc {} {:016x}",
+                self.name, self.seed
+            );
+        }
+    }
+}
+
 /// Per-test configuration (`cases` is the only honored knob).
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -428,9 +511,21 @@ macro_rules! __proptest_impl {
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..config.cases {
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // Replay the checked-in regression corpus first: a pinned
+                // seed that ever failed must keep passing forever.
+                let __corpus = $crate::corpus_seeds(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                );
+                let mut __label_rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let __seeds = __corpus
+                    .into_iter()
+                    .chain((0..config.cases).map(|_| __label_rng.next_u64()));
+                for (__case, __seed) in __seeds.enumerate() {
+                    let mut __reporter = $crate::SeedReporter::new(stringify!($name), __seed);
+                    let mut __rng = $crate::TestRng::from_seed(__seed);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
                     // The IIFE gives `?` (prop_assert!) somewhere to land.
                     #[allow(clippy::redundant_closure_call)]
                     let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
@@ -438,8 +533,14 @@ macro_rules! __proptest_impl {
                         Ok(())
                     })();
                     if let Err(e) = __result {
-                        panic!("proptest case {} failed: {e}", __case + 1);
+                        panic!(
+                            "proptest case {} failed (pin with: cc {} {:016x}): {e}",
+                            __case + 1,
+                            stringify!($name),
+                            __seed,
+                        );
                     }
+                    __reporter.disarm();
                 }
             }
         )*
@@ -487,8 +588,8 @@ macro_rules! prop_oneof {
 /// The `proptest::prelude`-compatible namespace.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, corpus_seeds, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 
     /// The `prop::` namespace (`prop::collection::vec` etc.).
@@ -548,5 +649,25 @@ mod tests {
             prop_assert_eq!(*v.last().unwrap(), x as u8);
             prop_assert_ne!(v.len(), 0);
         }
+    }
+
+    #[test]
+    fn corpus_parser_reads_matching_cc_lines_only() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/my_suite.txt"),
+            "# pinned regressions\n\
+             cc my_test 00000000000000ff\n\
+             cc other_test 0000000000000001\n\
+             cc my_test dead_not_hex\n\
+             \n\
+             cc my_test 1a2b\n",
+        )
+        .unwrap();
+        let seeds = crate::corpus_seeds(dir.to_str().unwrap(), "some/path/my_suite.rs", "my_test");
+        assert_eq!(seeds, vec![0xff, 0x1a2b]);
+        assert!(crate::corpus_seeds(dir.to_str().unwrap(), "missing.rs", "my_test").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,228 @@
+//! Every [`InvariantViolation`] variant, constructed and detected.
+//!
+//! The crash-consistency harness leans on `check_invariants` as its oracle:
+//! a recovery bug that corrupts structure must surface as a violation. That
+//! only holds if the checker actually fires on each kind of damage, so this
+//! suite fabricates all ten variants through the [`DenseFile::audit`] back
+//! door — raw store/calibrator mutation with no invariant maintenance — and
+//! asserts each one is reported.
+
+use dsf_core::{DenseFile, DenseFileConfig, InvariantViolation};
+
+fn names(errs: &[InvariantViolation]) -> Vec<&'static str> {
+    errs.iter().map(|v| v.name()).collect()
+}
+
+/// A CONTROL 1 file (no flag legality checks to co-fire) with `per_slot`
+/// records in each of its 8 slots, keys spaced 100 apart.
+fn control1_file(per_slot: u64) -> DenseFile<u64, u32> {
+    let mut f: DenseFile<u64, u32> = DenseFile::new(DenseFileConfig::control1(8, 4, 16)).unwrap();
+    f.bulk_load((0..8 * per_slot).map(|k| (k * 100, 1)))
+        .unwrap();
+    f.check_invariants().unwrap();
+    f
+}
+
+#[test]
+fn slot_unsorted_is_the_only_violation_reported() {
+    let mut f = control1_file(4);
+    // Same keys, same count, same minimum — only the interior order is off,
+    // so the report must be exactly one SlotUnsorted.
+    f.audit()
+        .corrupt_slot(0, vec![(0, 1), (200, 1), (100, 1), (300, 1)]);
+    let errs = f.check_invariants().unwrap_err();
+    assert_eq!(errs, vec![InvariantViolation::SlotUnsorted { slot: 0 }]);
+}
+
+#[test]
+fn cross_slot_order_is_the_only_violation_reported() {
+    let mut f = control1_file(4);
+    // Slot 0 stays sorted but its maximum (450) now passes slot 1's
+    // minimum (400).
+    f.audit()
+        .corrupt_slot(0, vec![(0, 1), (100, 1), (200, 1), (450, 1)]);
+    let errs = f.check_invariants().unwrap_err();
+    assert_eq!(
+        errs,
+        vec![InvariantViolation::CrossSlotOrder {
+            slot_a: 0,
+            slot_b: 1
+        }]
+    );
+}
+
+#[test]
+fn slot_over_capacity_is_detected() {
+    let mut f = control1_file(1); // sparse, so the total stays within N
+    let max = f.config().slot_max;
+    // slot_max + 1 sorted records, all below slot 1's minimum of 100.
+    let recs: Vec<(u64, u32)> = (0..=max).map(|k| (k, 1)).collect();
+    f.audit().corrupt_slot(0, recs);
+    let errs = f.check_invariants().unwrap_err();
+    assert!(
+        errs.contains(&InvariantViolation::SlotOverCapacity {
+            slot: 0,
+            len: max + 1,
+            max,
+        }),
+        "{:?}",
+        names(&errs)
+    );
+    // A slot past D# is also past its leaf's BALANCE bound — the checker
+    // reports both, never masks one with the other.
+    assert!(names(&errs).contains(&"BalanceViolated"));
+}
+
+#[test]
+fn count_mismatch_is_detected() {
+    let mut f = control1_file(2);
+    f.audit().calibrator_mut().add_count(3, 5);
+    let errs = f.check_invariants().unwrap_err();
+    assert!(
+        names(&errs).contains(&"CountMismatch"),
+        "{:?}",
+        names(&errs)
+    );
+}
+
+#[test]
+fn min_key_mismatch_is_detected() {
+    let mut f = control1_file(2);
+    f.audit().calibrator_mut().refresh_min(0, Some(99_999));
+    let errs = f.check_invariants().unwrap_err();
+    assert!(
+        names(&errs).contains(&"MinKeyMismatch"),
+        "{:?}",
+        names(&errs)
+    );
+}
+
+#[test]
+fn balance_violated_is_detected_without_any_slot_over_capacity() {
+    // control1(8, 4, 20): L = 3, so g(leaf,1) = D# = 20 and the depth-2
+    // bound is 4 + ⅔·16 ≈ 14.7. Packing all 32 records into slots 0..2 at
+    // 16 apiece stays under every leaf bound (and under N) but pushes the
+    // depth-2 node over slots 0..2 to p = 16 > 14.7: a pure BALANCE
+    // violation.
+    let mut f: DenseFile<u64, u32> = DenseFile::new(DenseFileConfig::control1(8, 4, 20)).unwrap();
+    f.bulk_load((0..32u64).map(|k| (k * 10, 1))).unwrap();
+    f.check_invariants().unwrap();
+    let mut audit = f.audit();
+    for slot in 0..2u32 {
+        let lo = u64::from(slot) * 16;
+        audit.corrupt_slot(slot, (lo..lo + 16).map(|k| (k * 10, 1)).collect());
+    }
+    for slot in 2..8u32 {
+        audit.corrupt_slot(slot, Vec::new());
+    }
+    let errs = f.check_invariants().unwrap_err();
+    assert!(
+        errs.iter()
+            .all(|v| matches!(v, InvariantViolation::BalanceViolated { .. })),
+        "{:?}",
+        names(&errs)
+    );
+    assert!(!errs.is_empty());
+}
+
+#[test]
+fn over_capacity_is_detected() {
+    // control1(4, 2, 10): N = 8. Ten records anywhere exceed it.
+    let mut f: DenseFile<u64, u32> = DenseFile::new(DenseFileConfig::control1(4, 2, 10)).unwrap();
+    f.bulk_load((0..8u64).map(|k| (k * 100, 1))).unwrap();
+    f.check_invariants().unwrap();
+    // Four records in slot 0 (all below slot 1's minimum of 200) push the
+    // total to 10 > 8 without overfilling any single slot.
+    f.audit()
+        .corrupt_slot(0, vec![(0, 1), (10, 1), (20, 1), (30, 1)]);
+    let errs = f.check_invariants().unwrap_err();
+    assert!(
+        errs.contains(&InvariantViolation::OverCapacity {
+            len: 10,
+            capacity: 8
+        }),
+        "{:?}",
+        names(&errs)
+    );
+}
+
+#[test]
+fn stale_warning_and_dest_out_of_range_are_detected() {
+    let mut f: DenseFile<u64, u32> = DenseFile::new(DenseFileConfig::control2(8, 2, 16)).unwrap();
+    f.bulk_load((0..10u64).map(|k| (k, 1))).unwrap();
+    f.check_invariants().unwrap();
+    // A warning on a cold node violates Fact 5.1(a); a DEST outside the
+    // father's range violates pointer containment.
+    let mut audit = f.audit();
+    let cal = audit.calibrator_mut();
+    let leaf = cal.leaf_of(0);
+    cal.set_warning(leaf, true);
+    cal.set_dest(leaf, 7); // the leaf's father spans slots 0..=1
+    let errs = f.check_invariants().unwrap_err();
+    let got = names(&errs);
+    assert!(got.contains(&"StaleWarning"), "{got:?}");
+    assert!(got.contains(&"DestOutOfRange"), "{got:?}");
+}
+
+#[test]
+fn missing_warning_is_detected() {
+    // control2(8, 4, 20) meets the gap assumption (16 > 3L = 9). A leaf
+    // holding 19 records is past g(leaf,⅔) ≈ 18.2 yet under both D# = 20
+    // and g(leaf,1) = 20 — hot enough that Fact 5.1(b) demands a warning,
+    // which the corruption below withholds.
+    let mut f: DenseFile<u64, u32> = DenseFile::new(DenseFileConfig::control2(8, 4, 20)).unwrap();
+    f.bulk_load((0..8u64).map(|k| (k * 1000, 1))).unwrap();
+    f.check_invariants().unwrap();
+    assert!(f.calibrator().warned_nodes().is_empty());
+    f.audit()
+        .corrupt_slot(7, (0..19u64).map(|k| (7000 + k, 1)).collect());
+    let errs = f.check_invariants().unwrap_err();
+    assert!(
+        names(&errs).contains(&"MissingWarning"),
+        "{:?}",
+        names(&errs)
+    );
+}
+
+#[test]
+fn variant_names_are_distinct_and_cover_all_ten() {
+    use InvariantViolation::*;
+    let all = [
+        SlotUnsorted { slot: 0 },
+        CrossSlotOrder {
+            slot_a: 0,
+            slot_b: 1,
+        },
+        SlotOverCapacity {
+            slot: 0,
+            len: 9,
+            max: 8,
+        },
+        CountMismatch {
+            node: 1,
+            cached: 2,
+            actual: 3,
+        },
+        MinKeyMismatch { node: 1 },
+        BalanceViolated {
+            node: 1,
+            count: 9,
+            width: 1,
+        },
+        StaleWarning { node: 1 },
+        MissingWarning { node: 1 },
+        DestOutOfRange { node: 1, dest: 9 },
+        OverCapacity {
+            len: 9,
+            capacity: 8,
+        },
+    ];
+    let mut seen: Vec<&str> = all.iter().map(|v| v.name()).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), 10, "{seen:?}");
+    // Display stays informative alongside the machine name.
+    for v in &all {
+        assert!(!v.to_string().is_empty());
+    }
+}

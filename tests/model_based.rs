@@ -6,16 +6,23 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use willard_dsf::{
-    AmortizedPma, BPlusTree, BTreeConfig, DenseFile, DenseFileConfig, DsfError, MacroBlocking,
-    NaiveSequentialFile, PmaConfig,
+    AmortizedPma, BPlusTree, BTreeConfig, DenseFile, DenseFileConfig, DsfError, DurableFile,
+    MacroBlocking, NaiveSequentialFile, PmaConfig, SyncPolicy,
 };
 
 /// A compact op encoding for proptest.
+///
+/// `Sync`, `Checkpoint`, and `Reopen` only act on [`DurableFile`]; the
+/// in-memory structures treat them as no-ops so one op vocabulary drives
+/// every model test.
 #[derive(Debug, Clone, Copy)]
 enum MOp {
     Insert(u16, u8),
     Remove(u16),
     Get(u16),
+    Sync,
+    Checkpoint,
+    Reopen,
 }
 
 fn op_strategy() -> impl Strategy<Value = MOp> {
@@ -23,6 +30,19 @@ fn op_strategy() -> impl Strategy<Value = MOp> {
         3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| MOp::Insert(k, v)),
         2 => any::<u16>().prop_map(MOp::Remove),
         1 => any::<u16>().prop_map(MOp::Get),
+    ]
+}
+
+/// The durable-file vocabulary: mutations plus durability boundaries and
+/// full process-restart round-trips.
+fn durable_op_strategy() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        6 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| MOp::Insert(k, v)),
+        4 => any::<u16>().prop_map(MOp::Remove),
+        2 => any::<u16>().prop_map(MOp::Get),
+        1 => Just(MOp::Sync),
+        1 => Just(MOp::Checkpoint),
+        1 => Just(MOp::Reopen),
     ]
 }
 
@@ -47,6 +67,7 @@ fn check_against_model(
             }
             MOp::Remove(k) => assert_eq!(f.remove(&k), model.remove(&k), "remove({k}) disagreed"),
             MOp::Get(k) => assert_eq!(f.get(&k), model.get(&k), "get({k}) disagreed"),
+            MOp::Sync | MOp::Checkpoint | MOp::Reopen => {} // durability ops: no-ops in memory
         }
         if i % check_every == 0 {
             if let Err(v) = f.check_invariants() {
@@ -122,6 +143,7 @@ proptest! {
                 }
                 MOp::Remove(k) => assert_eq!(f.remove(&k), model.remove(&k)),
                 MOp::Get(k) => assert_eq!(f.get(&k), model.get(&k)),
+                MOp::Sync | MOp::Checkpoint | MOp::Reopen => {}
             }
         }
         let got: Vec<(u16, u8)> = f.iter().map(|(k, v)| (*k, *v)).collect();
@@ -139,6 +161,7 @@ proptest! {
                 MOp::Insert(k, v) => assert_eq!(t.insert(k, v), model.insert(k, v)),
                 MOp::Remove(k) => assert_eq!(t.remove(&k), model.remove(&k)),
                 MOp::Get(k) => assert_eq!(t.get(&k), model.get(&k)),
+                MOp::Sync | MOp::Checkpoint | MOp::Reopen => {}
             }
         }
         t.check_structure().map_err(TestCaseError::fail)?;
@@ -162,6 +185,7 @@ proptest! {
                 }
                 MOp::Remove(k) => assert_eq!(p.remove(&k), model.remove(&k)),
                 MOp::Get(k) => assert_eq!(p.get(&k), model.get(&k)),
+                MOp::Sync | MOp::Checkpoint | MOp::Reopen => {}
             }
         }
         p.check_structure().map_err(TestCaseError::fail)?;
@@ -181,6 +205,7 @@ proptest! {
                 MOp::Insert(k, v) => assert_eq!(n.insert(k, v), model.insert(k, v)),
                 MOp::Remove(k) => assert_eq!(n.remove(&k), model.remove(&k)),
                 MOp::Get(k) => assert_eq!(n.get(&k), model.get(&k)),
+                MOp::Sync | MOp::Checkpoint | MOp::Reopen => {}
             }
         }
         let mut got = Vec::new();
@@ -210,5 +235,94 @@ proptest! {
         let got: Vec<u16> = f.range(lo..=hi).map(|(k, _)| *k).collect();
         let want: Vec<u16> = model.range(lo..=hi).map(|(k, _)| *k).collect();
         prop_assert_eq!(got, want);
+    }
+}
+
+// ----------------------------------------------------------------------
+// DurableFile round-trips: the same model discipline, against real disk.
+// ----------------------------------------------------------------------
+
+/// A unique scratch directory under the build tree (never outside it).
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target"));
+    root.join("model-scratch")
+        .join(format!("{tag}-{}-{n}", std::process::id()))
+}
+
+/// Drives a [`DurableFile`] through `ops` against the `BTreeMap` model.
+///
+/// Without injected faults every durability boundary is clean, so a reopen —
+/// whether mid-trace or final — must recover *exactly* the model: under
+/// `EveryCommand` because every command was fsynced, and under `Manual`
+/// because an un-crashed process leaves the whole log readable even when
+/// fsyncs were deferred. (Lost-suffix semantics under real crashes are the
+/// fault-injection suite's department: `crates/durable/tests/fault_injection.rs`.)
+fn run_durable_model(policy: SyncPolicy, tag: &str, ops: &[MOp]) -> Result<(), TestCaseError> {
+    let dir = scratch_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = DenseFileConfig::control2(32, 8, 48);
+    let mut f: DurableFile<u16, u8> = DurableFile::create(&dir, cfg, policy).unwrap();
+    let mut model = BTreeMap::new();
+    for op in ops {
+        match *op {
+            MOp::Insert(k, v) => {
+                if model.contains_key(&k) || (model.len() as u64) < f.capacity() {
+                    let got = f.insert(k, v).unwrap();
+                    prop_assert_eq!(got, model.insert(k, v));
+                } else {
+                    prop_assert!(f.insert(k, v).is_err(), "capacity breach accepted");
+                }
+            }
+            MOp::Remove(k) => {
+                prop_assert_eq!(f.remove(&k).unwrap(), model.remove(&k));
+            }
+            MOp::Get(k) => prop_assert_eq!(f.get(&k), model.get(&k)),
+            MOp::Sync => f.sync().unwrap(),
+            MOp::Checkpoint => f.checkpoint().unwrap(),
+            MOp::Reopen => {
+                drop(f);
+                f = DurableFile::open(&dir, policy).unwrap();
+                let got: Vec<(u16, u8)> = f.iter().map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u16, u8)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(got, want, "reopen lost or invented commands");
+                f.check_invariants().unwrap();
+            }
+        }
+    }
+    // Final process-restart round-trip.
+    drop(f);
+    let f: DurableFile<u16, u8> = DurableFile::open(&dir, policy).unwrap();
+    let got: Vec<(u16, u8)> = f.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<(u16, u8)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    prop_assert_eq!(got, want, "final reopen disagreed with the model");
+    f.check_invariants().unwrap();
+    drop(f);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// `EveryCommand`: every mutation is on disk the moment it returns.
+    #[test]
+    fn durable_every_command_matches_btreemap_across_reopens(
+        ops in prop::collection::vec(durable_op_strategy(), 1..120),
+    ) {
+        run_durable_model(SyncPolicy::EveryCommand, "every", &ops)?;
+    }
+
+    /// `Manual`: fsyncs happen only at `Sync`/`Checkpoint`, but clean
+    /// shutdowns still lose nothing.
+    #[test]
+    fn durable_manual_matches_btreemap_across_reopens(
+        ops in prop::collection::vec(durable_op_strategy(), 1..120),
+    ) {
+        run_durable_model(SyncPolicy::Manual, "manual", &ops)?;
     }
 }
