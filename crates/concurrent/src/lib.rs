@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod tel;
+
 use parking_lot::RwLock;
 
-use dsf_core::{DenseFile, DenseFileConfig, DsfError, InvariantViolation};
+use dsf_core::{DenseFile, DenseFileConfig, DsfError, InvariantViolation, OpStats};
 
 /// How keys map to shards: `shard i` owns `[i·stripe, (i+1)·stripe)` with
 /// the last shard absorbing the remainder of the `u64` space.
@@ -69,6 +71,9 @@ impl Router {
 pub struct ShardedFile<V> {
     router: Router,
     shards: Vec<RwLock<DenseFile<u64, V>>>,
+    /// Per-shard `dsf_shard_commands_total{shard="i"}` handles, registered
+    /// at construction so the hot path only bumps a relaxed atomic.
+    shard_commands: Vec<std::sync::Arc<dsf_telemetry::Counter>>,
     /// Fixed at construction (`shards × d·M`); cached so callers don't take
     /// every shard lock to read a constant.
     capacity: u64,
@@ -80,15 +85,42 @@ impl<V> ShardedFile<V> {
     pub fn new(shards: u32, per_shard: DenseFileConfig) -> Result<Self, DsfError> {
         assert!(shards > 0, "at least one shard required");
         let mut v = Vec::with_capacity(shards as usize);
-        for _ in 0..shards {
+        let mut shard_commands = Vec::with_capacity(shards as usize);
+        for s in 0..shards {
             v.push(RwLock::new(DenseFile::new(per_shard)?));
+            shard_commands.push(dsf_telemetry::global().counter_with(
+                "dsf_shard_commands_total",
+                &[("shard", &s.to_string())],
+                "structural commands routed to this shard",
+            ));
         }
         let capacity = v.iter().map(|s| s.read().capacity()).sum();
         Ok(ShardedFile {
             router: Router::new(shards),
             shards: v,
+            shard_commands,
             capacity,
         })
+    }
+
+    /// Takes shard `s`'s write lock, feeding `dsf_shard_lock_wait_micros`
+    /// on sampled acquisitions (1-in-16, and only while telemetry is on —
+    /// the common case is one branch and a plain `write()`).
+    fn lock_write(&self, s: usize) -> parking_lot::RwLockWriteGuard<'_, DenseFile<u64, V>> {
+        if dsf_telemetry::enabled() {
+            let t = tel::tel();
+            let n = t
+                .sample_clock
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n.is_multiple_of(tel::LOCK_WAIT_SAMPLE_EVERY) {
+                let t0 = std::time::Instant::now();
+                let guard = self.shards[s].write();
+                t.lock_wait
+                    .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                return guard;
+            }
+        }
+        self.shards[s].write()
     }
 
     /// Number of shards.
@@ -123,14 +155,16 @@ impl<V> ShardedFile<V> {
     /// [`DsfError::CapacityExceeded`] when the *stripe* is full — range
     /// partitioning means a skewed workload can exhaust one stripe early.
     pub fn insert(&self, key: u64, value: V) -> Result<Option<V>, DsfError> {
-        self.shards[self.router.shard_of(key)]
-            .write()
-            .insert(key, value)
+        let s = self.router.shard_of(key);
+        self.shard_commands[s].inc();
+        self.lock_write(s).insert(key, value)
     }
 
     /// Deletes a key from its stripe.
     pub fn remove(&self, key: &u64) -> Option<V> {
-        self.shards[self.router.shard_of(*key)].write().remove(key)
+        let s = self.router.shard_of(*key);
+        self.shard_commands[s].inc();
+        self.lock_write(s).remove(key)
     }
 
     /// Looks a key up (read lock; concurrent lookups don't block each
@@ -302,6 +336,18 @@ impl<V> ShardedFile<V> {
             .unwrap_or(0)
     }
 
+    /// One [`OpStats`] for the whole structure: every shard's stats folded
+    /// together with [`OpStats::merge`] (sums and histograms add, extremes
+    /// take the max). Per-shard consistent — each shard's read lock is held
+    /// only while that shard is folded in, like [`len`](Self::len).
+    pub fn merged_op_stats(&self) -> OpStats {
+        let mut out = OpStats::default();
+        for shard in &self.shards {
+            out.merge(shard.read().op_stats());
+        }
+        out
+    }
+
     /// Runs `f` against one shard's file under its read lock (metrics,
     /// diagnostics).
     pub fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&DenseFile<u64, V>) -> T) -> T {
@@ -372,9 +418,19 @@ impl<V: dsf_core::snapshot::Codec + Clone> ShardedFile<V> {
             return Err(dsf_core::SnapshotError::Corrupt("trailing bytes"));
         }
         let capacity = v.iter().map(|s| s.read().capacity()).sum();
+        let shard_commands = (0..shards)
+            .map(|s| {
+                dsf_telemetry::global().counter_with(
+                    "dsf_shard_commands_total",
+                    &[("shard", &s.to_string())],
+                    "structural commands routed to this shard",
+                )
+            })
+            .collect();
         Ok(ShardedFile {
             router,
             shards: v,
+            shard_commands,
             capacity,
         })
     }
@@ -666,6 +722,34 @@ mod tests {
             w.join().unwrap();
         }
         f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merged_op_stats_aggregates_all_shards() {
+        let f = file(4);
+        let stripe = u64::MAX / 4 + 1;
+        for i in 0..80u64 {
+            f.insert(i * (stripe / 30), i).unwrap();
+        }
+        for i in 0..10u64 {
+            assert!(f.remove(&(i * (stripe / 30))).is_some());
+        }
+        let merged = f.merged_op_stats();
+        let mut want_commands = 0;
+        let mut want_total = 0;
+        let mut want_max = 0;
+        for s in 0..f.shard_count() as usize {
+            f.with_shard(s, |shard| {
+                want_commands += shard.op_stats().commands;
+                want_total += shard.op_stats().total_accesses;
+                want_max = want_max.max(shard.op_stats().max_accesses);
+            });
+        }
+        assert_eq!(merged.commands, 90);
+        assert_eq!(merged.commands, want_commands);
+        assert_eq!(merged.total_accesses, want_total);
+        assert_eq!(merged.max_accesses, want_max);
+        assert_eq!(merged.histogram.total(), want_commands);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! This crate's handles into the global telemetry spine.
+//!
+//! The sharded wrapper exports two things the per-shard `OpStats` cannot
+//! show: *where* commands land (`dsf_shard_commands_total{shard="i"}` —
+//! skew made visible, the known failure mode of range partitioning) and
+//! *how long* writers wait for shard locks (`dsf_shard_lock_wait_micros`,
+//! sampled ~1-in-16 so the `Instant` reads stay off most commands). All
+//! no-ops while the global registry is disabled.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, OnceLock};
+
+use dsf_telemetry::Histogram;
+
+pub(crate) struct ConcurrentTel {
+    /// `dsf_shard_lock_wait_micros` — sampled write-lock acquisition wait.
+    pub lock_wait: Arc<Histogram>,
+    /// Free-running clock driving the 1-in-16 sampling decision.
+    pub sample_clock: AtomicU64,
+}
+
+/// Every 16th lock acquisition is timed.
+pub(crate) const LOCK_WAIT_SAMPLE_EVERY: u64 = 16;
+
+pub(crate) fn tel() -> &'static ConcurrentTel {
+    static TEL: OnceLock<ConcurrentTel> = OnceLock::new();
+    TEL.get_or_init(|| ConcurrentTel {
+        lock_wait: dsf_telemetry::global().histogram(
+            "dsf_shard_lock_wait_micros",
+            "microseconds writers waited for a shard lock (1-in-16 sampled)",
+        ),
+        sample_clock: AtomicU64::new(0),
+    })
+}

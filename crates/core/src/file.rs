@@ -222,6 +222,7 @@ impl<K: Key, V> DenseFile<K, V> {
     /// [`DsfError::CapacityExceeded`] if the file already holds
     /// `N = d·M` records and `key` is not present.
     pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>, DsfError> {
+        let pre = self.tel_pre();
         let snap = self.store.stats().snapshot();
         let slot = if self.is_empty() {
             self.cfg.slots / 2
@@ -247,6 +248,9 @@ impl<K: Key, V> DenseFile<K, V> {
                 let accesses = self.store.stats().since(snap).accesses();
                 self.stats.record_command(accesses);
                 self.emit(|| StepEvent::CommandEnd { accesses });
+                if let Some(pre) = pre {
+                    self.tel_post(pre, CommandKind::Insert, slot, accesses);
+                }
                 Ok(None)
             }
         }
@@ -257,6 +261,7 @@ impl<K: Key, V> DenseFile<K, V> {
         if self.is_empty() {
             return None;
         }
+        let pre = self.tel_pre();
         let snap = self.store.stats().snapshot();
         let slot = self.cal.find_slot(key);
         let old = self.store.remove(slot, key)?;
@@ -270,7 +275,102 @@ impl<K: Key, V> DenseFile<K, V> {
         let accesses = self.store.stats().since(snap).accesses();
         self.stats.record_command(accesses);
         self.emit(|| StepEvent::CommandEnd { accesses });
+        if let Some(pre) = pre {
+            self.tel_post(pre, CommandKind::Delete, slot, accesses);
+        }
         Some(old)
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry mirroring.
+    // ------------------------------------------------------------------
+
+    /// Pre-command counter snapshot; `None` (one branch, nothing else)
+    /// while the global telemetry spine is disabled.
+    #[inline]
+    fn tel_pre(&self) -> Option<TelPre> {
+        if !dsf_telemetry::enabled() {
+            return None;
+        }
+        Some(TelPre {
+            start: std::time::Instant::now(),
+            shifts: self.stats.shifts,
+            records_shifted: self.stats.records_shifted,
+            activations: self.stats.activations,
+            rollbacks: self.stats.rollbacks,
+            flags_lowered: self.stats.flags_lowered,
+            redistributions: self.stats.redistributions,
+        })
+    }
+
+    /// Publishes one finished command to the global spine: the access
+    /// histogram observation, per-kind command counters, maintenance-event
+    /// deltas since `pre`, the cheap gauges, and a [`dsf_telemetry::Span`].
+    fn tel_post(&self, pre: TelPre, kind: CommandKind, slot: u32, accesses: u64) {
+        let t = crate::tel::tel();
+        t.cmd_hist.record(accesses);
+        match kind {
+            CommandKind::Insert => t.inserts.inc(),
+            CommandKind::Delete => t.deletes.inc(),
+        }
+        let shift_steps = self.stats.shifts - pre.shifts;
+        t.shifts.add(shift_steps);
+        t.shift_records
+            .add(self.stats.records_shifted - pre.records_shifted);
+        t.activations.add(self.stats.activations - pre.activations);
+        t.rollbacks.add(self.stats.rollbacks - pre.rollbacks);
+        t.flags_lowered
+            .add(self.stats.flags_lowered - pre.flags_lowered);
+        t.redistributions
+            .add(self.stats.redistributions - pre.redistributions);
+        t.warning_flags.set(f64::from(self.cal.warned_total()));
+        t.records.set(self.len() as f64);
+        dsf_telemetry::spans().push(dsf_telemetry::Span {
+            kind: match kind {
+                CommandKind::Insert => "insert",
+                CommandKind::Delete => "delete",
+            },
+            target: u64::from(slot),
+            pages: accesses,
+            shift_steps,
+            wal_frames: 0,
+            micros: u64::try_from(pre.start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        });
+    }
+
+    /// Recomputes the `O(M)` telemetry gauges — above all
+    /// `dsf_balance_headroom_worst`, the fraction of its BALANCE(d,D)
+    /// threshold `g(v,1)` the tightest calibrator node still has free
+    /// (`1 − max_v p(v)/g(v,1)`; 0 = some node exactly at threshold,
+    /// negative = BALANCE violated).
+    ///
+    /// Walking every node is deliberately not done per command; exporters
+    /// (`dsf serve-metrics`, `dsf top`, `exp_telemetry`) call this at scrape
+    /// or refresh time instead. No-op while telemetry is disabled.
+    pub fn refresh_telemetry_gauges(&self) {
+        if !dsf_telemetry::enabled() {
+            return;
+        }
+        let t = crate::tel::tel();
+        t.warning_flags.set(f64::from(self.cal.warned_total()));
+        t.records.set(self.len() as f64);
+        let l = f64::from(self.cfg.log_slots);
+        let dmin = self.cfg.slot_min as f64;
+        let gap = (self.cfg.slot_max - self.cfg.slot_min) as f64;
+        let mut worst = 0.0f64;
+        for n in self.cal.all_nodes() {
+            // g(v,1) = d# + depth(v)·(D#−d#)/L, the Theorem 5.5 bound.
+            let g1 = if l > 0.0 {
+                dmin + f64::from(n.depth()) * gap / l
+            } else {
+                dmin
+            };
+            if g1 > 0.0 {
+                let p = self.cal.count(n) as f64 / self.cal.width(n) as f64;
+                worst = worst.max(p / g1);
+            }
+        }
+        t.balance_headroom.set(1.0 - worst);
     }
 
     fn after_update(&mut self, slot: u32) {
@@ -475,6 +575,18 @@ impl<K: Key, V> DenseFile<K, V> {
         new.bulk_load(all)?;
         Ok(new)
     }
+}
+
+/// Pre-command snapshot of the maintenance counters, captured only while
+/// the global telemetry spine is enabled (see [`DenseFile::insert`]).
+struct TelPre {
+    start: std::time::Instant,
+    shifts: u64,
+    records_shifted: u64,
+    activations: u64,
+    rollbacks: u64,
+    flags_lowered: u64,
+    redistributions: u64,
 }
 
 /// Corruption handle returned by [`DenseFile::audit`].

@@ -114,8 +114,12 @@ impl InvariantViolation {
 }
 
 impl std::fmt::Display for InvariantViolation {
+    /// `"<name()>: <detail>"` — the stable machine-readable variant name is
+    /// the single source of truth for the prefix, so log lines grep the same
+    /// way the fault-suite's coverage accounting counts.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         use InvariantViolation::*;
+        write!(f, "{}: ", self.name())?;
         match self {
             SlotUnsorted { slot } => write!(f, "slot {slot} is not sorted"),
             CrossSlotOrder { slot_a, slot_b } => {
@@ -348,5 +352,45 @@ mod tests {
         assert!(v.to_string().contains("BALANCE"));
         let v = InvariantViolation::MissingWarning { node: 3 };
         assert!(v.to_string().contains("5.1b"));
+    }
+
+    #[test]
+    fn display_is_prefixed_with_the_stable_name() {
+        let samples = [
+            InvariantViolation::SlotUnsorted { slot: 1 },
+            InvariantViolation::CrossSlotOrder {
+                slot_a: 1,
+                slot_b: 2,
+            },
+            InvariantViolation::SlotOverCapacity {
+                slot: 0,
+                len: 9,
+                max: 8,
+            },
+            InvariantViolation::CountMismatch {
+                node: 1,
+                cached: 2,
+                actual: 3,
+            },
+            InvariantViolation::MinKeyMismatch { node: 4 },
+            InvariantViolation::BalanceViolated {
+                node: 5,
+                count: 9,
+                width: 1,
+            },
+            InvariantViolation::StaleWarning { node: 6 },
+            InvariantViolation::MissingWarning { node: 7 },
+            InvariantViolation::DestOutOfRange { node: 8, dest: 9 },
+            InvariantViolation::OverCapacity {
+                len: 10,
+                capacity: 9,
+            },
+        ];
+        for v in samples {
+            let text = v.to_string();
+            let prefix = format!("{}: ", v.name());
+            assert!(text.starts_with(&prefix), "{text:?} !~ {prefix:?}");
+            assert!(text.len() > prefix.len(), "{text:?} has no detail");
+        }
     }
 }

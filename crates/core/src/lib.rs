@@ -59,6 +59,7 @@ mod order;
 mod scan;
 pub mod snapshot;
 pub mod stats;
+mod tel;
 pub mod trace;
 
 pub use calibrator::{Calibrator, NodeId};

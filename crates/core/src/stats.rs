@@ -42,9 +42,25 @@ impl AccessHistogram {
             .collect()
     }
 
+    /// Raw per-bucket counts (bucket 0 = zero accesses, bucket `i` =
+    /// `(2^(i-1), 2^i]`, bucket 32 = catch-all). The layout matches
+    /// `dsf-telemetry`'s histogram buckets exactly, which is what lets the
+    /// exported `dsf_command_page_accesses` series be reconciled
+    /// bucket-for-bucket against a replayed [`OpStats`].
+    pub fn bucket_counts(&self) -> [u64; 33] {
+        self.buckets
+    }
+
     /// Total commands recorded.
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Adds every bucket of `other` into `self` (saturating).
+    pub fn merge(&mut self, other: &AccessHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
     }
 }
 
@@ -129,9 +145,15 @@ impl std::fmt::Display for OpStats {
 
 impl OpStats {
     /// Records the completion of one structural command.
+    ///
+    /// Saturating on the cumulative counters: a file can outlive `u64`
+    /// wrap-around horizons on `total_accesses` in principle (merged
+    /// per-shard stats compound the risk), and a pinned-at-max counter is a
+    /// far better failure mode for a measurement instrument than a silent
+    /// wrap that corrupts the mean.
     pub fn record_command(&mut self, accesses: u64) {
-        self.commands += 1;
-        self.total_accesses += accesses;
+        self.commands = self.commands.saturating_add(1);
+        self.total_accesses = self.total_accesses.saturating_add(accesses);
         self.last_accesses = accesses;
         self.max_accesses = self.max_accesses.max(accesses);
         self.histogram.record(accesses);
@@ -144,6 +166,35 @@ impl OpStats {
         } else {
             self.total_accesses as f64 / self.commands as f64
         }
+    }
+
+    /// Folds `other` into `self`, as if the two instrument streams had been
+    /// recorded by one file. Sums and histograms add (saturating), extremes
+    /// take the max; `last_accesses` keeps `other`'s value when `other` has
+    /// seen any command (the merged-in stream is treated as the more
+    /// recent). This is how `dsf-concurrent` aggregates per-shard stats into
+    /// one whole-structure view.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.commands = self.commands.saturating_add(other.commands);
+        self.total_accesses = self.total_accesses.saturating_add(other.total_accesses);
+        self.max_accesses = self.max_accesses.max(other.max_accesses);
+        if other.commands > 0 {
+            self.last_accesses = other.last_accesses;
+        }
+        self.histogram.merge(&other.histogram);
+
+        self.shifts = self.shifts.saturating_add(other.shifts);
+        self.empty_shifts = self.empty_shifts.saturating_add(other.empty_shifts);
+        self.no_source_shifts = self.no_source_shifts.saturating_add(other.no_source_shifts);
+        self.idle_steps = self.idle_steps.saturating_add(other.idle_steps);
+        self.activations = self.activations.saturating_add(other.activations);
+        self.rollbacks = self.rollbacks.saturating_add(other.rollbacks);
+        self.flags_lowered = self.flags_lowered.saturating_add(other.flags_lowered);
+        self.records_shifted = self.records_shifted.saturating_add(other.records_shifted);
+        self.redistributions = self.redistributions.saturating_add(other.redistributions);
+        self.redistributed_slots = self
+            .redistributed_slots
+            .saturating_add(other.redistributed_slots);
     }
 }
 
@@ -184,6 +235,63 @@ mod tests {
         assert!(text.contains("shifts: 7"));
         assert!(text.contains("redistributions: 1 over 64"));
         assert!(text.contains("histogram"));
+    }
+
+    #[test]
+    fn record_command_saturates_instead_of_wrapping() {
+        let mut s = OpStats {
+            commands: u64::MAX,
+            total_accesses: u64::MAX - 1,
+            ..OpStats::default()
+        };
+        s.record_command(5);
+        assert_eq!(s.commands, u64::MAX);
+        assert_eq!(s.total_accesses, u64::MAX);
+        assert_eq!(s.last_accesses, 5);
+    }
+
+    #[test]
+    fn merge_folds_two_streams() {
+        let mut a = OpStats::default();
+        a.record_command(4);
+        a.record_command(16);
+        a.shifts = 3;
+        a.records_shifted = 12;
+
+        let mut b = OpStats::default();
+        b.record_command(90);
+        b.shifts = 2;
+        b.activations = 1;
+
+        a.merge(&b);
+        assert_eq!(a.commands, 3);
+        assert_eq!(a.total_accesses, 110);
+        assert_eq!(a.max_accesses, 90);
+        assert_eq!(a.last_accesses, 90);
+        assert_eq!(a.shifts, 5);
+        assert_eq!(a.records_shifted, 12);
+        assert_eq!(a.activations, 1);
+        assert_eq!(a.histogram.total(), 3);
+    }
+
+    #[test]
+    fn merge_with_empty_other_keeps_last_accesses() {
+        let mut a = OpStats::default();
+        a.record_command(7);
+        a.merge(&OpStats::default());
+        assert_eq!(a.last_accesses, 7);
+        assert_eq!(a.commands, 1);
+    }
+
+    #[test]
+    fn bucket_counts_round_trips_non_empty() {
+        let mut h = AccessHistogram::default();
+        h.record(0);
+        h.record(5);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[3], 1); // 5 ∈ (4, 8]
+        assert_eq!(counts.iter().sum::<u64>(), h.total());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod physical;
+mod tel;
 pub mod vfs;
 mod wal;
 

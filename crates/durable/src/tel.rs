@@ -1,0 +1,51 @@
+//! This crate's handles into the global telemetry spine.
+//!
+//! The durability layer's health is about exactly three things: how fast
+//! frames reach the log, how expensive `fsync` is (the dominant latency of
+//! `SyncPolicy::EveryCommand`), and whether recovery ever has to scrub torn
+//! or unacknowledged bytes. Each gets a first-class metric here; all are
+//! single-branch no-ops while the global registry is disabled.
+
+use std::sync::{Arc, OnceLock};
+
+use dsf_telemetry::{Counter, Histogram};
+
+pub(crate) struct DurableTel {
+    /// `dsf_wal_frames_total` — frames acknowledged by the log.
+    pub frames: Arc<Counter>,
+    /// `dsf_wal_fsyncs_total` — `sync_data` calls issued.
+    pub fsyncs: Arc<Counter>,
+    /// `dsf_wal_fsync_micros` — wall-clock latency of each `sync_data`.
+    pub fsync_micros: Arc<Histogram>,
+    /// `dsf_wal_recovery_scrubs_total` — times a torn/unacknowledged tail
+    /// was truncated away (append rollback or open-time recovery).
+    pub recovery_scrubs: Arc<Counter>,
+    /// `dsf_wal_frames_replayed_total` — frames replayed at open.
+    pub frames_replayed: Arc<Counter>,
+    /// `dsf_checkpoints_total` — successful checkpoints.
+    pub checkpoints: Arc<Counter>,
+}
+
+pub(crate) fn tel() -> &'static DurableTel {
+    static TEL: OnceLock<DurableTel> = OnceLock::new();
+    TEL.get_or_init(|| {
+        let r = dsf_telemetry::global();
+        DurableTel {
+            frames: r.counter("dsf_wal_frames_total", "WAL frames acknowledged"),
+            fsyncs: r.counter("dsf_wal_fsyncs_total", "WAL sync_data calls"),
+            fsync_micros: r.histogram(
+                "dsf_wal_fsync_micros",
+                "wall-clock microseconds per WAL sync_data call",
+            ),
+            recovery_scrubs: r.counter(
+                "dsf_wal_recovery_scrubs_total",
+                "torn or unacknowledged WAL tails truncated away",
+            ),
+            frames_replayed: r.counter(
+                "dsf_wal_frames_replayed_total",
+                "WAL frames replayed during open",
+            ),
+            checkpoints: r.counter("dsf_checkpoints_total", "checkpoints completed"),
+        }
+    })
+}

@@ -151,6 +151,7 @@ impl<W: VfsFile> WalWriter<W> {
             Ok(()) => {
                 self.written += self.pending.len() as u64;
                 self.pending.clear();
+                crate::tel::tel().frames.inc();
                 Ok(())
             }
             Err(e) => {
@@ -165,6 +166,7 @@ impl<W: VfsFile> WalWriter<W> {
     /// Truncates the file back to `len` bytes (scrubbing a torn or
     /// unacknowledged frame); poisons the writer if the scrub fails.
     fn rollback_to(&mut self, len: u64) {
+        crate::tel::tel().recovery_scrubs.inc();
         if self.file.set_len(len).is_err() || self.file.seek_end().is_err() {
             self.poisoned = true;
         } else {
@@ -176,7 +178,15 @@ impl<W: VfsFile> WalWriter<W> {
         if self.poisoned {
             return Err(DurableError::LogPoisoned);
         }
-        self.file.sync_data().map_err(DurableError::Io)
+        let start = dsf_telemetry::enabled().then(std::time::Instant::now);
+        let res = self.file.sync_data().map_err(DurableError::Io);
+        if let Some(t0) = start {
+            let t = crate::tel::tel();
+            t.fsyncs.inc();
+            t.fsync_micros
+                .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        res
     }
 }
 
@@ -316,6 +326,11 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         } else {
             (0, 0)
         };
+        crate::tel::tel().frames_replayed.add(replayed);
+        if valid_len < bytes.len() {
+            // A torn tail (or an entire torn/stale log) is being discarded.
+            crate::tel::tel().recovery_scrubs.inc();
+        }
         let log = if valid_len == 0 {
             // Missing, torn-header, or stale-epoch log: start it fresh.
             fresh_log(&fs, &dir, epoch)?
@@ -411,6 +426,9 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             }
         }
         self.commands_since_checkpoint += 1;
+        // The span for this command was pushed by `DenseFile`'s own hook
+        // before the append; stamp the frame it just earned onto it.
+        dsf_telemetry::spans().amend_last(|s| s.wal_frames += 1);
         Ok(())
     }
 
@@ -451,6 +469,7 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
                 self.log = Some(log);
                 self.epoch = new_epoch;
                 self.commands_since_checkpoint = 0;
+                crate::tel::tel().checkpoints.inc();
                 Ok(())
             }
             Err(e) => {

@@ -46,6 +46,7 @@ pub mod pool;
 mod record;
 mod stats;
 mod store;
+mod tel;
 mod trace;
 
 pub use cache::{CacheStats, LruCacheSim};

@@ -19,6 +19,7 @@ use std::io;
 
 use crate::cache::CacheStats;
 use crate::lru::LruList;
+use crate::tel::tel;
 use crate::trace::{AccessEvent, AccessKind, TraceBuffer};
 
 /// Physical page storage a [`BufferPool`] caches in front of.
@@ -214,6 +215,7 @@ impl<B: PageBackend> BufferPool<B> {
             if let Some(&id) = self.table.get(&p) {
                 self.stats.accesses += 1;
                 self.stats.hits += 1;
+                tel().pool_hits.inc();
                 if self.frames[id].pins == 0 {
                     self.lru.touch(id);
                 }
@@ -232,6 +234,8 @@ impl<B: PageBackend> BufferPool<B> {
                 self.stats.misses += 1;
                 self.install(miss_start + i as u64, chunk)?;
             }
+            tel().pool_misses.add(miss_len as u64);
+            self.refresh_hit_ratio();
         }
         Ok(())
     }
@@ -267,6 +271,7 @@ impl<B: PageBackend> BufferPool<B> {
             }
             self.stats.pages_flushed += run.len() as u64;
             self.stats.flush_runs += 1;
+            tel().run_len.record(run.len() as u64);
             i = j;
         }
         Ok(())
@@ -331,16 +336,31 @@ impl<B: PageBackend> BufferPool<B> {
         self.stats.accesses += 1;
         if let Some(&id) = self.table.get(&page) {
             self.stats.hits += 1;
+            tel().pool_hits.inc();
             if self.frames[id].pins == 0 {
                 self.lru.touch(id);
             }
             return Ok(id);
         }
         self.stats.misses += 1;
+        tel().pool_misses.inc();
+        self.refresh_hit_ratio();
         let page_size = self.backend.page_size();
         let mut buf = vec![0u8; page_size];
         self.backend.read_run(page, &mut buf)?;
         self.install(page, &buf)
+    }
+
+    /// Mirrors the pool hit ratio into the telemetry spine. Called from the
+    /// miss path only — misses already pay backend I/O, so the division is
+    /// lost in the noise, and a ratio that only moves on misses is still
+    /// exact at every scrape that follows one.
+    fn refresh_hit_ratio(&self) {
+        if self.stats.accesses > 0 {
+            tel()
+                .hit_ratio
+                .set(self.stats.hits as f64 / self.stats.accesses as f64);
+        }
     }
 
     /// Inserts a freshly-read page (insert first, then evict on overflow —
@@ -405,11 +425,14 @@ impl<B: PageBackend> BufferPool<B> {
                 self.frames[victim].dirty = false;
                 self.stats.writebacks += 1;
                 self.stats.writeback_runs += 1;
+                tel().pool_writebacks.inc();
+                tel().run_len.record(1);
             }
         }
         self.table.remove(&page);
         self.lru.release(victim);
         self.stats.evictions += 1;
+        tel().pool_evictions.inc();
         Ok(())
     }
 
@@ -443,6 +466,8 @@ impl<B: PageBackend> BufferPool<B> {
             self.stats.writebacks += 1;
         }
         self.stats.writeback_runs += 1;
+        tel().pool_writebacks.add(hi - lo);
+        tel().run_len.record(hi - lo);
         Ok(())
     }
 }

@@ -48,15 +48,22 @@ impl IoStats {
     }
 
     /// Charges `n` page reads.
+    ///
+    /// Also mirrored into the process-wide telemetry spine
+    /// (`dsf_page_reads_total`) — a single-branch no-op while the global
+    /// registry is disabled, so per-instance attribution stays exact and
+    /// free of observability cost by default.
     #[inline]
     pub fn charge_reads(&self, n: u64) {
         self.reads.fetch_add(n, Relaxed);
+        crate::tel::tel().reads.add(n);
     }
 
-    /// Charges `n` page writes.
+    /// Charges `n` page writes (mirrored as `dsf_page_writes_total`).
     #[inline]
     pub fn charge_writes(&self, n: u64) {
         self.writes.fetch_add(n, Relaxed);
+        crate::tel::tel().writes.add(n);
     }
 
     /// Cumulative page reads.

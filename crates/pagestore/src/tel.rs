@@ -1,0 +1,66 @@
+//! This crate's handles into the global telemetry spine.
+//!
+//! [`IoStats`](crate::IoStats) and [`PoolStats`](crate::PoolStats) stay the
+//! *per-instance* views (snapshot/delta attribution needs an instance to
+//! diff against); the handles here are the *process-wide* view of the same
+//! events, aggregated across every store and pool in the process. While the
+//! global registry is disabled — the default — each mirror call is a
+//! single-branch no-op.
+
+use std::sync::{Arc, OnceLock};
+
+use dsf_telemetry::{Counter, Gauge, Histogram};
+
+pub(crate) struct PagestoreTel {
+    /// `dsf_page_reads_total` — physical page reads charged anywhere.
+    pub reads: Arc<Counter>,
+    /// `dsf_page_writes_total` — the write-amplification half, first-class
+    /// and separate from reads (cf. Seybold's near-logarithmic-writes line
+    /// of work).
+    pub writes: Arc<Counter>,
+    /// `dsf_pool_hits_total` — pool requests served from a resident frame.
+    pub pool_hits: Arc<Counter>,
+    /// `dsf_pool_misses_total` — pool requests that read the backend.
+    pub pool_misses: Arc<Counter>,
+    /// `dsf_pool_evictions_total`.
+    pub pool_evictions: Arc<Counter>,
+    /// `dsf_pool_writebacks_total` — dirty pages written back on eviction.
+    pub pool_writebacks: Arc<Counter>,
+    /// `dsf_pool_run_pages` — pages per coalesced `write_run` call
+    /// (eviction clusters and flush runs alike).
+    pub run_len: Arc<Histogram>,
+    /// `dsf_pool_hit_ratio` — hits/accesses, refreshed on the miss path.
+    pub hit_ratio: Arc<Gauge>,
+}
+
+pub(crate) fn tel() -> &'static PagestoreTel {
+    static TEL: OnceLock<PagestoreTel> = OnceLock::new();
+    TEL.get_or_init(|| {
+        let r = dsf_telemetry::global();
+        PagestoreTel {
+            reads: r.counter("dsf_page_reads_total", "physical page reads charged"),
+            writes: r.counter("dsf_page_writes_total", "physical page writes charged"),
+            pool_hits: r.counter(
+                "dsf_pool_hits_total",
+                "buffer pool requests served from resident frames",
+            ),
+            pool_misses: r.counter(
+                "dsf_pool_misses_total",
+                "buffer pool requests that faulted to the backend",
+            ),
+            pool_evictions: r.counter("dsf_pool_evictions_total", "buffer pool frames evicted"),
+            pool_writebacks: r.counter(
+                "dsf_pool_writebacks_total",
+                "dirty pages written back during eviction",
+            ),
+            run_len: r.histogram(
+                "dsf_pool_run_pages",
+                "pages moved per coalesced write_run call",
+            ),
+            hit_ratio: r.gauge(
+                "dsf_pool_hit_ratio",
+                "buffer pool hit ratio (hits / accesses), refreshed on misses",
+            ),
+        }
+    })
+}

@@ -1,0 +1,113 @@
+//! # dsf-telemetry — the workspace's observability spine.
+//!
+//! The paper's headline claim is a *worst-case* per-command bound of
+//! `O(log²M/(D−d))` page accesses. Trusting that claim in a long-running
+//! system requires every command's cost to be measured, attributed, and
+//! exportable while traffic is flowing — not just printed at the end of a
+//! bench run. This crate is the single metrics spine the rest of the
+//! workspace records into:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s. The hot path is one relaxed-atomic op per event, zero
+//!   allocation, and a **single branch no-op while disabled** (the same
+//!   discipline as `DenseFile::enable_step_trace`). Registration is the
+//!   cold path and takes a lock; recording never does.
+//! * [`SpanRing`] — a bounded ring buffer of structured per-command
+//!   [`Span`]s (command kind, pages touched, shift steps run, WAL frames
+//!   appended) with drop counting, so memory stays bounded under any load.
+//! * [`export`] — Prometheus text exposition served over a tiny
+//!   `std::net` HTTP listener (no dependencies; the workspace is offline),
+//!   a JSON snapshot writer the bench harness diffs across runs, and an
+//!   exposition parser the CI smoke test uses to validate the endpoint.
+//!
+//! ## The global spine
+//!
+//! The library crates (`dsf-pagestore`, `dsf-core`, `dsf-durable`,
+//! `dsf-concurrent`) record into one process-wide registry reached through
+//! [`global`], which starts **disabled**: until [`Registry::enable`] is
+//! called, every instrument is an inert branch and the system measures at
+//! its PR-2 baseline. Tools that want live metrics (`dsf serve-metrics`,
+//! `dsf top`, `exp_telemetry`) enable it explicitly.
+//!
+//! ```
+//! use dsf_telemetry as tel;
+//!
+//! let reg = tel::Registry::new();
+//! let hist = reg.histogram("demo_page_accesses", "per-command page accesses");
+//! hist.record(7); // disabled: no-op
+//! reg.enable();
+//! hist.record(7);
+//! assert_eq!(hist.max(), 7);
+//! assert!(reg.render_prometheus().contains("demo_page_accesses_count"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+mod registry;
+mod span;
+
+pub use export::{parse_exposition, serve, ExpositionSummary, MetricsListener, MetricsServer};
+pub use registry::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use span::{Span, SpanRing};
+
+use std::sync::OnceLock;
+
+/// Default capacity of the [`spans`] ring (per-command spans retained).
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+fn cell() -> &'static (Registry, SpanRing) {
+    static CELL: OnceLock<(Registry, SpanRing)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = Registry::new();
+        let ring = SpanRing::with_flag(DEFAULT_SPAN_CAPACITY, reg.enabled_flag());
+        (reg, ring)
+    })
+}
+
+/// The process-wide registry every dsf crate records into. Starts disabled.
+pub fn global() -> &'static Registry {
+    &cell().0
+}
+
+/// The process-wide span ring. Shares the on/off switch of [`global`], so
+/// enabling the registry also starts span capture.
+pub fn spans() -> &'static SpanRing {
+    &cell().1
+}
+
+/// Whether the global spine is currently recording — the one branch every
+/// disabled-path instrument takes.
+#[inline]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_spine_shares_one_switch() {
+        // Note: the global registry is process-wide; this test only toggles
+        // it briefly and restores the disabled state.
+        assert!(!enabled());
+        global().enable();
+        assert!(enabled());
+        spans().push(Span {
+            kind: "test",
+            target: 1,
+            pages: 2,
+            shift_steps: 0,
+            wal_frames: 0,
+            micros: 5,
+        });
+        let (recorded, dropped) = spans().snapshot();
+        assert_eq!(dropped, 0);
+        assert!(recorded.iter().any(|s| s.kind == "test"));
+        global().disable();
+        spans().clear();
+        assert!(!enabled());
+    }
+}

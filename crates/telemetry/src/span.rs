@@ -1,0 +1,208 @@
+//! Structured per-command spans in a bounded ring buffer.
+//!
+//! Metrics aggregate; spans *attribute*. A [`Span`] records what one
+//! structural command actually did — which kind, where it landed, how many
+//! pages it touched, how many SHIFT steps ran, how many WAL frames it
+//! appended — so a worst-case outlier seen in the histogram can be chased
+//! back to the command that caused it. The ring holds the most recent
+//! `capacity` spans in bounded memory; older spans are overwritten and
+//! counted as dropped rather than growing without limit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// One completed command, as seen by the layer that ran it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// What ran: `"insert"`, `"delete"`, `"checkpoint"`, …
+    pub kind: &'static str,
+    /// Where it landed — slot for `dsf-core`, shard for `dsf-concurrent`.
+    pub target: u64,
+    /// Page accesses charged to the command.
+    pub pages: u64,
+    /// CONTROL 2 SHIFT invocations the command ran.
+    pub shift_steps: u64,
+    /// WAL frames the command appended (0 for non-durable files).
+    pub wal_frames: u64,
+    /// Wall-clock duration in microseconds.
+    pub micros: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    buf: VecDeque<Span>,
+    dropped: u64,
+    total: u64,
+}
+
+/// A bounded, drop-counting ring of [`Span`]s.
+///
+/// `push` is a single-branch no-op while the shared enable flag is off;
+/// when on it takes a short mutex (spans are per-*command*, which is orders
+/// of magnitude rarer than per-page events, so a lock is fine here where it
+/// would not be in the [`crate::Registry`] hot path).
+#[derive(Debug)]
+pub struct SpanRing {
+    on: Arc<AtomicBool>,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SpanRing {
+    /// A ring with its own private switch (enabled immediately).
+    pub fn new(capacity: usize) -> Self {
+        SpanRing::with_flag(capacity, Arc::new(AtomicBool::new(true)))
+    }
+
+    /// A ring tied to an external enable flag (see
+    /// [`crate::Registry::enabled_flag`]).
+    pub fn with_flag(capacity: usize, on: Arc<AtomicBool>) -> Self {
+        assert!(capacity > 0, "span ring capacity must be non-zero");
+        SpanRing {
+            on,
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Records a span, evicting (and counting) the oldest when full.
+    #[inline]
+    pub fn push(&self, span: Span) {
+        if !self.on.load(Relaxed) {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(span);
+        inner.total += 1;
+    }
+
+    /// Mutates the most recent span in place (no-op while disabled or when
+    /// the ring is empty). Lets an outer layer annotate the span an inner
+    /// layer pushed — `dsf-durable` stamps `wal_frames` onto the span
+    /// `dsf-core` recorded for the same command. Best-effort under
+    /// concurrency: another thread's span may have landed in between.
+    pub fn amend_last(&self, f: impl FnOnce(&mut Span)) {
+        if !self.on.load(Relaxed) {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(last) = inner.buf.back_mut() {
+            f(last);
+        }
+    }
+
+    /// The retained spans (oldest first) and the number dropped so far.
+    pub fn snapshot(&self) -> (Vec<Span>, u64) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.buf.iter().cloned().collect(), inner.dropped)
+    }
+
+    /// Spans ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).total
+    }
+
+    /// Spans evicted by the bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Maximum retained spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Empties the ring and zeroes the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        *inner = Inner::default();
+    }
+
+    /// Renders the newest `limit` spans as a JSON array (newest last).
+    pub fn render_json(&self, limit: usize) -> String {
+        let (spans, dropped) = self.snapshot();
+        let skip = spans.len().saturating_sub(limit);
+        let mut out = String::from("{\"dropped\":");
+        out.push_str(&dropped.to_string());
+        out.push_str(",\"spans\":[");
+        for (i, s) in spans[skip..].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"kind\":\"{}\",\"target\":{},\"pages\":{},\"shift_steps\":{},\"wal_frames\":{},\"micros\":{}}}",
+                s.kind, s.target, s.pages, s.shift_steps, s.wal_frames, s.micros
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(target: u64) -> Span {
+        Span {
+            kind: "insert",
+            target,
+            pages: target * 2,
+            shift_steps: 1,
+            wal_frames: 0,
+            micros: 10,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_memory_and_counts_drops() {
+        let ring = SpanRing::new(3);
+        for i in 0..5 {
+            ring.push(span(i));
+        }
+        let (spans, dropped) = ring.snapshot();
+        assert_eq!(dropped, 2);
+        assert_eq!(ring.total(), 5);
+        let targets: Vec<u64> = spans.iter().map(|s| s.target).collect();
+        assert_eq!(targets, vec![2, 3, 4], "oldest spans evicted first");
+    }
+
+    #[test]
+    fn disabled_flag_suppresses_pushes() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ring = SpanRing::with_flag(4, Arc::clone(&flag));
+        ring.push(span(1));
+        assert_eq!(ring.total(), 0);
+        flag.store(true, Relaxed);
+        ring.push(span(1));
+        assert_eq!(ring.total(), 1);
+    }
+
+    #[test]
+    fn amend_last_updates_only_the_newest_span() {
+        let ring = SpanRing::new(4);
+        ring.push(span(1));
+        ring.push(span(2));
+        ring.amend_last(|s| s.wal_frames = 7);
+        let (spans, _) = ring.snapshot();
+        assert_eq!(spans[0].wal_frames, 0);
+        assert_eq!(spans[1].wal_frames, 7);
+    }
+
+    #[test]
+    fn json_rendering_is_bounded_and_well_formed() {
+        let ring = SpanRing::new(8);
+        for i in 0..4 {
+            ring.push(span(i));
+        }
+        let json = ring.render_json(2);
+        assert!(json.starts_with("{\"dropped\":0"));
+        assert!(json.contains("\"target\":3"));
+        assert!(!json.contains("\"target\":1"), "limit keeps newest only");
+    }
+}

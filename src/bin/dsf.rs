@@ -20,6 +20,8 @@
 //! dsf replay ledger.dsf ops.trace
 //! dsf image-export ledger.dsf ledger.img --page-bytes 4096
 //! dsf image-stream ledger.img --from 0 --to 99999
+//! dsf top ledger.dsf --workload uniform --ops 2000
+//! dsf serve-metrics ledger.dsf --port 9184 --workload hammer --ops 1000
 //! ```
 
 use std::fs::File;
@@ -59,7 +61,10 @@ usage:
   dsf gen-trace <trace-path> --workload uniform|burst|hammer|mixed [--ops N] [--seed S]
   dsf replay <path> <trace-path> [--dry-run]
   dsf image-export <path> <image-path> [--page-bytes N]
-  dsf image-stream <image-path> [--from KEY] [--to KEY]   (reads straight off disk)";
+  dsf image-stream <image-path> [--from KEY] [--to KEY]   (reads straight off disk)
+  dsf top <path> [--workload uniform|burst|hammer] [--ops N]   (in-memory; live metric table)
+  dsf serve-metrics <path> [--port P] [--workload W] [--ops N] [--oneshot [--requests R]]
+      serves /metrics (Prometheus), /json, /spans over HTTP (in-memory; never saves)";
 
 fn run(args: &[String]) -> Result<String, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -78,6 +83,8 @@ fn run(args: &[String]) -> Result<String, String> {
         "replay" => replay(&args[1..]),
         "image-export" => image_export(&args[1..]),
         "image-stream" => image_stream(&args[1..]),
+        "top" => top(&args[1..]),
+        "serve-metrics" => serve_metrics(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -481,6 +488,94 @@ fn image_stream(args: &[String]) -> Result<String, String> {
         report.bytes_read
     ));
     Ok(out)
+}
+
+/// Replays `ops` inserts of `workload` against `ledger` in memory — the
+/// shared driver of `top` and `serve-metrics` (same key streams as `bench`).
+fn drive_workload(ledger: &mut Ledger, workload: &str, ops: usize) -> Result<u64, String> {
+    let room = (ledger.capacity() - ledger.len()) as usize;
+    let ops = ops.min(room);
+    let hi = ledger.last().map(|(k, _)| *k).unwrap_or(1 << 40);
+    let keys = match workload {
+        "uniform" => dsf_workloads::uniform_unique(7, ops, 0, hi.max(ops as u64 * 4)),
+        "burst" => {
+            let lo = hi / 2;
+            dsf_workloads::burst(7, ops, lo, lo + (ops as u64) * 4)
+        }
+        "hammer" => dsf_workloads::hammer(ops, hi / 2, 1),
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    let mut done = 0u64;
+    for k in keys {
+        if ledger.insert(k, format!("tel-{k}")).is_ok() {
+            done += 1;
+        }
+    }
+    Ok(done)
+}
+
+fn top(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("top: missing <path>")?;
+    let mut ledger = open(path)?; // driven in memory; never saved back
+    let workload = flag(args, "--workload").unwrap_or_else(|| "uniform".into());
+    let ops: usize = match flag(args, "--ops") {
+        Some(s) => parse(&s, "--ops")?,
+        None => 1000,
+    };
+    willard_dsf::telemetry::global().enable();
+    let done = drive_workload(&mut ledger, &workload, ops).map_err(|e| format!("top: {e}"))?;
+    ledger.refresh_telemetry_gauges();
+    let s = ledger.op_stats();
+    let (spans, dropped) = willard_dsf::telemetry::spans().snapshot();
+    Ok(format!(
+        "drove {done} {workload} inserts in memory (worst {} / mean {:.2} page accesses)\n\
+         spans retained: {} (dropped {dropped})\n\n{}",
+        s.max_accesses,
+        s.mean_accesses(),
+        spans.len(),
+        willard_dsf::telemetry::global().render_text(),
+    ))
+}
+
+fn serve_metrics(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("serve-metrics: missing <path>")?;
+    let mut ledger = open(path)?; // served from memory; never saved back
+    let port: u16 = match flag(args, "--port") {
+        Some(s) => parse(&s, "--port")?,
+        None => 9184,
+    };
+    willard_dsf::telemetry::global().enable();
+    if let Some(workload) = flag(args, "--workload") {
+        let ops: usize = match flag(args, "--ops") {
+            Some(s) => parse(&s, "--ops")?,
+            None => 1000,
+        };
+        let done = drive_workload(&mut ledger, &workload, ops)
+            .map_err(|e| format!("serve-metrics: {e}"))?;
+        println!("drove {done} {workload} inserts to populate the spine");
+    }
+    ledger.refresh_telemetry_gauges();
+    let listener = willard_dsf::telemetry::MetricsListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("serve-metrics: cannot bind port {port}: {e}"))?;
+    let addr = listener.local_addr();
+    println!("serving http://{addr}/metrics  (also /json, /spans)");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if has_flag(args, "--oneshot") {
+        let requests: usize = match flag(args, "--requests") {
+            Some(s) => parse(&s, "--requests")?,
+            None => 1,
+        };
+        listener
+            .serve_requests(requests)
+            .map_err(|e| format!("serve-metrics: {e}"))?;
+        Ok(format!("served {requests} request(s); exiting\n"))
+    } else {
+        listener
+            .serve_forever()
+            .map_err(|e| format!("serve-metrics: {e}"))?;
+        Ok(String::new())
+    }
 }
 
 fn verify(args: &[String]) -> Result<String, String> {

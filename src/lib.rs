@@ -23,6 +23,11 @@
 //!   preserving the per-command bound per stripe.
 //! * [`durable`] — crash safety ([`DurableFile`]): checkpoints plus a
 //!   CRC-framed write-ahead log with torn-tail recovery.
+//! * [`telemetry`] — the observability spine: a process-wide registry of
+//!   counters/gauges/histograms every layer records into (disabled by
+//!   default; zero-allocation, single-branch when off), per-command spans,
+//!   and Prometheus/JSON exporters behind `dsf serve-metrics` and
+//!   `dsf top`. See `docs/OBSERVABILITY.md` for the metric catalogue.
 //!
 //! The most common types are re-exported at the crate root; see the
 //! `examples/` directory for runnable walkthroughs and `crates/bench` for
@@ -37,6 +42,7 @@ pub use dsf_concurrent as concurrent;
 pub use dsf_core as core_;
 pub use dsf_durable as durable;
 pub use dsf_pagestore as pagestore;
+pub use dsf_telemetry as telemetry;
 pub use dsf_workloads as workloads;
 
 pub use dsf_baselines::{AmortizedPma, NaiveSequentialFile, OverflowFile, PmaConfig};

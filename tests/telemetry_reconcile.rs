@@ -1,0 +1,87 @@
+//! End-to-end telemetry reconciliation against the *global* spine.
+//!
+//! This file holds exactly one test on purpose: it enables the
+//! process-wide registry and asserts exact global counter values, so it
+//! must not share a process with other tests that might also record into
+//! the spine (cargo gives each `tests/*.rs` its own binary, which is the
+//! isolation we need).
+
+use willard_dsf::telemetry;
+use willard_dsf::{DenseFile, DenseFileConfig};
+
+#[test]
+fn global_spine_mirrors_op_stats_and_exports_valid_prometheus() {
+    let reg = telemetry::global();
+    reg.reset();
+    telemetry::spans().clear();
+    reg.enable();
+
+    let mut f: DenseFile<u64, u64> = DenseFile::new(DenseFileConfig::control2(256, 6, 8)).unwrap();
+    let capacity = f.capacity();
+    let backbone = capacity * 3 / 5;
+    let stride = u64::MAX / (backbone + 1);
+    f.bulk_load((0..backbone).map(|i| (i * stride, i))).unwrap();
+
+    let mut inserted = Vec::new();
+    for i in 0..(capacity - backbone).saturating_sub(4) {
+        let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1) | 1;
+        if f.insert(k, i).is_ok() {
+            inserted.push(k);
+        }
+    }
+    for &k in inserted.iter().step_by(3) {
+        f.remove(&k).unwrap();
+    }
+    f.refresh_telemetry_gauges();
+    reg.disable();
+
+    let stats = f.op_stats();
+    assert!(stats.commands > 100, "workload too small to be meaningful");
+
+    // The ISSUE's acceptance criterion: the spine's per-command histogram
+    // IS OpStats' histogram — count, sum, max, and every bucket.
+    let hist = reg.histogram(
+        "dsf_command_page_accesses",
+        "page accesses per insert/delete command",
+    );
+    assert_eq!(hist.count(), stats.commands);
+    assert_eq!(hist.sum(), stats.total_accesses);
+    assert_eq!(hist.max(), stats.max_accesses);
+    assert_eq!(hist.bucket_counts(), stats.histogram.bucket_counts());
+
+    // Command-kind counters split the same total.
+    let ins = reg.counter_with("dsf_commands_total", &[("kind", "insert")], "");
+    let del = reg.counter_with("dsf_commands_total", &[("kind", "delete")], "");
+    assert_eq!(ins.get() + del.get(), stats.commands);
+    assert_eq!(del.get(), (inserted.len() as u64).div_ceil(3));
+
+    // Gauges refreshed from live structure state.
+    let records = reg.gauge("dsf_records", "");
+    assert_eq!(records.get() as u64, f.len());
+    let headroom = reg.gauge("dsf_balance_headroom_worst", "");
+    assert!(
+        headroom.get().is_finite(),
+        "headroom gauge must be computed, got {}",
+        headroom.get()
+    );
+
+    // One span per structural command, each micro-timed.
+    let (spans, dropped) = telemetry::spans().snapshot();
+    assert_eq!(telemetry::spans().total(), stats.commands);
+    assert_eq!(spans.len() as u64 + dropped, stats.commands);
+    assert!(spans
+        .iter()
+        .all(|s| s.kind == "insert" || s.kind == "delete"));
+
+    // The Prometheus rendering must parse as well-formed 0.0.4 exposition
+    // with no duplicate samples and every family typed.
+    let text = reg.render_prometheus();
+    let summary = telemetry::parse_exposition(&text).expect("exposition must parse");
+    assert!(summary.families >= 5, "families: {}", summary.families);
+    assert!(summary.samples > summary.families);
+    assert!(text.contains("dsf_command_page_accesses_count"));
+    assert!(text.contains(&format!(
+        "dsf_command_page_accesses_max {}",
+        stats.max_accesses
+    )));
+}
