@@ -106,7 +106,31 @@ impl<V> ShardedFile<V> {
     /// Takes shard `s`'s write lock, feeding `dsf_shard_lock_wait_micros`
     /// on sampled acquisitions (1-in-16, and only while telemetry is on —
     /// the common case is one branch and a plain `write()`).
+    ///
+    /// While the flight recorder is on, every acquisition first parks the
+    /// upcoming command's sequence number (`prepare_command`) so the
+    /// recorded lock wait and the command that follows share one seq.
     fn lock_write(&self, s: usize) -> parking_lot::RwLockWriteGuard<'_, DenseFile<u64, V>> {
+        if dsf_flight::enabled() {
+            dsf_flight::prepare_command();
+            let t0 = std::time::Instant::now();
+            let guard = self.shards[s].write();
+            dsf_flight::record_lock_wait(
+                s as u64,
+                u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+            );
+            if dsf_telemetry::enabled() {
+                let t = tel::tel();
+                let n = t
+                    .sample_clock
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if n.is_multiple_of(tel::LOCK_WAIT_SAMPLE_EVERY) {
+                    t.lock_wait
+                        .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                }
+            }
+            return guard;
+        }
         if dsf_telemetry::enabled() {
             let t = tel::tel();
             let n = t

@@ -60,8 +60,12 @@ impl<K: Key, V> DenseFile<K, V> {
                 break;
             };
             self.emit(|| StepEvent::Selected { node: v });
-            // step 4b
-            let outcome = self.shift(v);
+            // step 4b: the shift's page traffic lands in the flight
+            // record's Shift phase.
+            let outcome = {
+                let _phase = dsf_flight::phase(dsf_flight::Phase::Shift);
+                self.shift(v)
+            };
             // step 4c: only nodes whose density *decreased* can newly fall
             // under g(·,⅓): those containing the source but not the dest.
             if let Some(source) = outcome.source {
@@ -99,6 +103,7 @@ impl<K: Key, V> DenseFile<K, V> {
         if self.cal.is_warned(n) && self.cal.p_le(n, q) {
             self.cal.set_warning(n, false);
             self.stats.flags_lowered += 1;
+            dsf_flight::record_flag_lowered(u64::from(n.0));
             self.emit(|| StepEvent::WarningLowered { node: n });
         }
     }
@@ -126,6 +131,7 @@ impl<K: Key, V> DenseFile<K, V> {
     /// The paper's ACTIVATE(w).
     pub(crate) fn activate(&mut self, w: NodeId) {
         debug_assert!(w != NodeId::ROOT, "the root is never activated");
+        let _phase = dsf_flight::phase(dsf_flight::Phase::Activate);
         // 1. Raise w into a warning state.
         self.cal.set_warning(w, true);
         self.stats.activations += 1;
@@ -134,6 +140,7 @@ impl<K: Key, V> DenseFile<K, V> {
         let (flo, fhi) = self.cal.range(fw);
         let dest = if w.is_right_child() { flo } else { fhi };
         self.cal.set_dest(w, dest);
+        dsf_flight::record_activate(u64::from(w.0), u64::from(dest));
         self.emit(|| StepEvent::Activated { node: w, dest });
         // 3. Roll-back rules: any warned node y with RANGE(f_y) ⊃ RANGE(f_w)
         //    whose DEST traverses RANGE(f_w) is reset to the far edge of
@@ -155,6 +162,7 @@ impl<K: Key, V> DenseFile<K, V> {
                     if dy > flo && dy <= fhi {
                         self.cal.set_dest(y, flo);
                         self.stats.rollbacks += 1;
+                        dsf_flight::record_rollback(u64::from(y.0), u64::from(flo));
                         self.emit(|| StepEvent::RolledBack {
                             node: y,
                             new_dest: flo,
@@ -165,6 +173,7 @@ impl<K: Key, V> DenseFile<K, V> {
                     if dy >= flo && dy < fhi {
                         self.cal.set_dest(y, fhi);
                         self.stats.rollbacks += 1;
+                        dsf_flight::record_rollback(u64::from(y.0), u64::from(fhi));
                         self.emit(|| StepEvent::RolledBack {
                             node: y,
                             new_dest: fhi,
@@ -259,6 +268,7 @@ impl<K: Key, V> DenseFile<K, V> {
         if let Some(nd) = new_dest {
             self.cal.set_dest(v, nd);
         }
+        dsf_flight::record_shift(u64::from(v.0), u64::from(source), u64::from(dest), n);
         self.emit(|| StepEvent::Shifted {
             node: v,
             source,

@@ -157,6 +157,16 @@ impl<K: Key, V> DenseFile<K, V> {
     }
 
     pub(crate) fn emit_flag_stable(&mut self, moment: Moment) {
+        // Flight moment snapshots are a separate opt-in on top of the
+        // recorder itself (each costs O(M)); they power the Figure-4-style
+        // per-moment table in `dsf flight explain --seq`.
+        if dsf_flight::moments_enabled() {
+            let code = match moment {
+                Moment::AfterStep3 => 0,
+                Moment::AfterStep4c => 1,
+            };
+            dsf_flight::record_moment(code, &self.slot_counts());
+        }
         if self.recorder.is_none() {
             return;
         }
@@ -229,10 +239,22 @@ impl<K: Key, V> DenseFile<K, V> {
         } else {
             self.cal.find_slot(&key)
         };
+        // Begun before the search so the step-1 probe's page reads land in
+        // the flight record's User phase; a replace or capacity refusal
+        // cancels the frame (replay discards cancelled commands).
+        let flight = self.flight_begin(dsf_flight::CommandKind::Insert, slot);
         match self.store.search(slot, &key) {
-            Ok(idx) => Ok(Some(self.store.replace_at(slot, idx, value))),
+            Ok(idx) => {
+                if flight.is_some() {
+                    dsf_flight::cancel_command();
+                }
+                Ok(Some(self.store.replace_at(slot, idx, value)))
+            }
             Err(idx) => {
                 if self.cal.total() >= self.capacity() {
+                    if flight.is_some() {
+                        dsf_flight::cancel_command();
+                    }
                     return Err(DsfError::CapacityExceeded {
                         capacity: self.capacity(),
                     });
@@ -248,6 +270,9 @@ impl<K: Key, V> DenseFile<K, V> {
                 let accesses = self.store.stats().since(snap).accesses();
                 self.stats.record_command(accesses);
                 self.emit(|| StepEvent::CommandEnd { accesses });
+                if let Some(f) = flight {
+                    self.flight_end(f, accesses);
+                }
                 if let Some(pre) = pre {
                     self.tel_post(pre, CommandKind::Insert, slot, accesses);
                 }
@@ -264,7 +289,16 @@ impl<K: Key, V> DenseFile<K, V> {
         let pre = self.tel_pre();
         let snap = self.store.stats().snapshot();
         let slot = self.cal.find_slot(key);
-        let old = self.store.remove(slot, key)?;
+        let flight = self.flight_begin(dsf_flight::CommandKind::Delete, slot);
+        let old = match self.store.remove(slot, key) {
+            Some(old) => old,
+            None => {
+                if flight.is_some() {
+                    dsf_flight::cancel_command();
+                }
+                return None;
+            }
+        };
         self.emit(|| StepEvent::CommandBegin {
             kind: CommandKind::Delete,
             slot,
@@ -275,6 +309,9 @@ impl<K: Key, V> DenseFile<K, V> {
         let accesses = self.store.stats().since(snap).accesses();
         self.stats.record_command(accesses);
         self.emit(|| StepEvent::CommandEnd { accesses });
+        if let Some(f) = flight {
+            self.flight_end(f, accesses);
+        }
         if let Some(pre) = pre {
             self.tel_post(pre, CommandKind::Delete, slot, accesses);
         }
@@ -285,15 +322,51 @@ impl<K: Key, V> DenseFile<K, V> {
     // Telemetry mirroring.
     // ------------------------------------------------------------------
 
+    /// Records a `CommandBegin` flight frame and captures the pre-command
+    /// state [`flight_end`](Self::flight_end) needs; `None` (one branch)
+    /// while the flight recorder is disabled.
+    #[inline]
+    fn flight_begin(&self, kind: dsf_flight::CommandKind, slot: u32) -> Option<FlightCmd> {
+        if !dsf_flight::enabled() {
+            return None;
+        }
+        dsf_flight::begin_command(kind, u64::from(slot));
+        Some(FlightCmd {
+            start: std::time::Instant::now(),
+            shifts: self.stats.shifts,
+        })
+    }
+
+    /// Records the `CommandEnd` flight frame. `accesses` is the same
+    /// since-snapshot delta handed to `OpStats::record_command`, so flight
+    /// attribution reconciles exactly with the live counters.
+    fn flight_end(&self, f: FlightCmd, accesses: u64) {
+        dsf_flight::end_command(
+            accesses,
+            self.stats.shifts - f.shifts,
+            u64::try_from(f.start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+
     /// Pre-command counter snapshot; `None` (one branch, nothing else)
     /// while the global telemetry spine is disabled.
+    ///
+    /// `start` is `Some` only for the 1-in-[`crate::tel::SPAN_SAMPLE_EVERY`]
+    /// commands that will push a span: the other commands skip the
+    /// `Instant::now` pair as well as the span-ring mutex, which is most of
+    /// the enabled-path overhead (counter deltas are plain relaxed adds).
     #[inline]
     fn tel_pre(&self) -> Option<TelPre> {
         if !dsf_telemetry::enabled() {
             return None;
         }
+        let t = crate::tel::tel();
+        let sampled = t
+            .span_clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .is_multiple_of(crate::tel::SPAN_SAMPLE_EVERY);
         Some(TelPre {
-            start: std::time::Instant::now(),
+            start: sampled.then(std::time::Instant::now),
             shifts: self.stats.shifts,
             records_shifted: self.stats.records_shifted,
             activations: self.stats.activations,
@@ -325,17 +398,19 @@ impl<K: Key, V> DenseFile<K, V> {
             .add(self.stats.redistributions - pre.redistributions);
         t.warning_flags.set(f64::from(self.cal.warned_total()));
         t.records.set(self.len() as f64);
-        dsf_telemetry::spans().push(dsf_telemetry::Span {
-            kind: match kind {
-                CommandKind::Insert => "insert",
-                CommandKind::Delete => "delete",
-            },
-            target: u64::from(slot),
-            pages: accesses,
-            shift_steps,
-            wal_frames: 0,
-            micros: u64::try_from(pre.start.elapsed().as_micros()).unwrap_or(u64::MAX),
-        });
+        if let Some(start) = pre.start {
+            dsf_telemetry::spans().push(dsf_telemetry::Span {
+                kind: match kind {
+                    CommandKind::Insert => "insert",
+                    CommandKind::Delete => "delete",
+                },
+                target: u64::from(slot),
+                pages: accesses,
+                shift_steps,
+                wal_frames: 0,
+                micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            });
+        }
     }
 
     /// Recomputes the `O(M)` telemetry gauges — above all
@@ -580,13 +655,22 @@ impl<K: Key, V> DenseFile<K, V> {
 /// Pre-command snapshot of the maintenance counters, captured only while
 /// the global telemetry spine is enabled (see [`DenseFile::insert`]).
 struct TelPre {
-    start: std::time::Instant,
+    /// `Some` only when this command was sampled for a span.
+    start: Option<std::time::Instant>,
     shifts: u64,
     records_shifted: u64,
     activations: u64,
     rollbacks: u64,
     flags_lowered: u64,
     redistributions: u64,
+}
+
+/// Pre-command state for one flight-recorded command. `Some` only when a
+/// `CommandBegin` frame was actually recorded, so the cancel/end calls are
+/// never issued against a stale sequence number from an earlier command.
+struct FlightCmd {
+    start: std::time::Instant,
+    shifts: u64,
 }
 
 /// Corruption handle returned by [`DenseFile::audit`].

@@ -73,4 +73,5 @@ pub use invariant::InvariantViolation;
 pub use scan::{Scan, ScanRev};
 pub use snapshot::{Codec, SnapshotError};
 pub use stats::{AccessHistogram, OpStats};
+pub use tel::SPAN_SAMPLE_EVERY;
 pub use trace::{CommandKind, Moment, StepEvent, StepRecorder};

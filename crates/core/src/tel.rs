@@ -9,9 +9,17 @@
 //! enabled and publish the deltas at command end. While the registry is
 //! disabled — the default — the entire hook is one branch per command.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 
 use dsf_telemetry::{Counter, Gauge, Histogram};
+
+/// One command in every `SPAN_SAMPLE_EVERY` pushes a span into the global
+/// [`SpanRing`](dsf_telemetry::SpanRing) (and pays the `Instant::now`
+/// timestamping); the rest skip both. Counters and histograms still see
+/// *every* command — sampling only thins the example spans, mirroring the
+/// lock-wait sampling in `dsf-concurrent`.
+pub const SPAN_SAMPLE_EVERY: u64 = 8;
 
 pub(crate) struct CoreTel {
     /// `dsf_command_page_accesses` — per-command page accesses, bucketed
@@ -47,6 +55,9 @@ pub(crate) struct CoreTel {
     /// [`DenseFile::refresh_telemetry_gauges`](crate::DenseFile::refresh_telemetry_gauges),
     /// not per command.
     pub balance_headroom: Arc<Gauge>,
+    /// Monotonic command clock driving the 1-in-[`SPAN_SAMPLE_EVERY`]
+    /// span sampling.
+    pub span_clock: AtomicU64,
 }
 
 pub(crate) fn tel() -> &'static CoreTel {
@@ -89,6 +100,7 @@ pub(crate) fn tel() -> &'static CoreTel {
                 "dsf_balance_headroom_worst",
                 "1 - max p(v)/g(v,1): BALANCE headroom at the tightest node",
             ),
+            span_clock: AtomicU64::new(0),
         }
     })
 }

@@ -178,13 +178,19 @@ impl<W: VfsFile> WalWriter<W> {
         if self.poisoned {
             return Err(DurableError::LogPoisoned);
         }
-        let start = dsf_telemetry::enabled().then(std::time::Instant::now);
+        let start =
+            (dsf_telemetry::enabled() || dsf_flight::enabled()).then(std::time::Instant::now);
         let res = self.file.sync_data().map_err(DurableError::Io);
         if let Some(t0) = start {
-            let t = crate::tel::tel();
-            t.fsyncs.inc();
-            t.fsync_micros
-                .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            if dsf_telemetry::enabled() {
+                let t = crate::tel::tel();
+                t.fsyncs.inc();
+                t.fsync_micros.record(micros);
+            }
+            // Charged to the command whose append forced the sync (the seq
+            // is still parked on this thread after `end_command`).
+            dsf_flight::record_fsync(micros);
         }
         res
     }
@@ -427,8 +433,10 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         }
         self.commands_since_checkpoint += 1;
         // The span for this command was pushed by `DenseFile`'s own hook
-        // before the append; stamp the frame it just earned onto it.
+        // before the append; stamp the frame it just earned onto it. The
+        // flight frame likewise lands on the just-ended command's seq.
         dsf_telemetry::spans().amend_last(|s| s.wal_frames += 1);
+        dsf_flight::record_wal_frame(frame.len() as u64);
         Ok(())
     }
 

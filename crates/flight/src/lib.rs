@@ -1,0 +1,457 @@
+//! # dsf-flight — the workspace's flight recorder.
+//!
+//! The paper's headline claim is a *worst-case* per-command bound of
+//! `O(log²M/(D−d))` page accesses — yet an aggregate histogram can only
+//! say that some command was expensive, not *which* one or *why*. This
+//! crate records a causal, per-command event stream across every layer of
+//! the stack:
+//!
+//! * **dsf-core** records command begin/end, SHIFT / ACTIVATE / roll-back
+//!   / flag events;
+//! * **dsf-pagestore** records every page charge, tagged with the
+//!   algorithm [`Phase`] that caused it;
+//! * **dsf-durable** records WAL frames and fsyncs;
+//! * **dsf-concurrent** records shard-lock waits;
+//!
+//! all under a single monotonically increasing **command sequence number**
+//! threaded through the stack via a thread-local (each command runs on one
+//! thread, so concurrent shard commands never collide). Events are varint
+//! frames in a bounded, drop-counting byte ring ([`FlightRing`]); a
+//! snapshot persists to a [`FlightLog`] (`.flight` file) and replays into
+//! per-command [`Attribution`] with J-budget and page-bound auditing.
+//!
+//! Like the step trace and the telemetry spine, the recorder is **off by
+//! default**: every instrumentation site is a single relaxed-load branch
+//! until [`enable`] is called. This crate sits at the very bottom of the
+//! workspace graph (std only) so every layer can record into it.
+//!
+//! ```
+//! use dsf_flight as flight;
+//!
+//! flight::clear();
+//! flight::enable();
+//! let seq = flight::begin_command(flight::CommandKind::Insert, 7);
+//! flight::record_access(flight::AccessKind::Read, 2);
+//! flight::end_command(2, 0, 15);
+//! flight::disable();
+//!
+//! let log = flight::snapshot_log(flight::BoundBudget { j: 3, k: 1, log_slots: 3, gap: 9 });
+//! let attr = log.replay();
+//! assert_eq!(attr.command_count(), 1);
+//! assert_eq!(attr.commands[0].seq, seq);
+//! assert_eq!(attr.commands[0].user_pages(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod log;
+mod replay;
+mod ring;
+
+pub use codec::{
+    decode_frames, get_varint, put_varint, AccessKind, CommandKind, FlightEvent, Phase, PHASES,
+};
+pub use log::{FlightLog, FLIGHT_MAGIC, FLIGHT_VERSION};
+pub use replay::{Attribution, AuditReport, BoundBudget, CommandCost, ShiftTrace, Violation};
+pub use ring::FlightRing;
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+/// Default byte budget of the global ring (~100k events).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1 << 20;
+
+struct Globals {
+    ring: FlightRing,
+    on: AtomicBool,
+    moments: AtomicBool,
+    seq: AtomicU64,
+}
+
+fn globals() -> &'static Globals {
+    static CELL: OnceLock<Globals> = OnceLock::new();
+    CELL.get_or_init(|| Globals {
+        ring: FlightRing::new(DEFAULT_FLIGHT_CAPACITY),
+        on: AtomicBool::new(false),
+        moments: AtomicBool::new(false),
+        // Sequence numbers start at 1: seq 0 means "no command".
+        seq: AtomicU64::new(1),
+    })
+}
+
+thread_local! {
+    /// The command currently (or most recently) executing on this thread.
+    /// Kept after `end_command` so the durability layer can stamp the WAL
+    /// frames it appends *after* the in-memory command completed.
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// A sequence number allocated ahead of the command (by the sharding
+    /// layer, which observes the lock wait *before* `begin_command` runs).
+    static PENDING: Cell<u64> = const { Cell::new(0) };
+    /// The phase accesses are attributed to; `PHASE_IDLE` (no command in
+    /// flight) suppresses access recording entirely, so lookups, scans and
+    /// bulk loads never pollute per-command attribution.
+    static PHASE: Cell<u8> = const { Cell::new(PHASE_IDLE) };
+}
+
+const PHASE_IDLE: u8 = u8::MAX;
+
+/// Starts recording. The ring's prior contents are kept; call [`clear`]
+/// first for a fresh capture.
+pub fn enable() {
+    globals().on.store(true, Relaxed);
+}
+
+/// Stops recording (sites revert to a single not-taken branch).
+pub fn disable() {
+    globals().on.store(false, Relaxed);
+}
+
+/// Whether the recorder is on — the one branch every disabled site takes.
+#[inline]
+pub fn enabled() -> bool {
+    globals().on.load(Relaxed)
+}
+
+/// Turns flag-stable moment snapshots on or off. Each snapshot costs
+/// `O(M)` (one count per slot), so this is a separate opt-in on top of
+/// [`enable`] — `dsf flight record --moments` uses it to build the
+/// Figure-4-style per-moment table.
+pub fn set_moments(on: bool) {
+    globals().moments.store(on, Relaxed);
+}
+
+/// Whether moment snapshots should be captured right now.
+#[inline]
+pub fn moments_enabled() -> bool {
+    let g = globals();
+    g.on.load(Relaxed) && g.moments.load(Relaxed)
+}
+
+/// Empties the global ring and resets its counters (the sequence counter
+/// keeps climbing — it is monotonic for the life of the process).
+pub fn clear() {
+    globals().ring.clear();
+}
+
+/// Direct access to the global ring (snapshotting, capacity checks).
+pub fn ring() -> &'static FlightRing {
+    &globals().ring
+}
+
+fn alloc_seq() -> u64 {
+    globals().seq.fetch_add(1, Relaxed)
+}
+
+/// Allocates the next command's sequence number *before* the command
+/// begins — the sharding layer calls this so its lock-wait event carries
+/// the same seq the command will run under. The parked number is consumed
+/// by the next [`begin_command`] on this thread. Returns 0 when disabled.
+pub fn prepare_command() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let seq = alloc_seq();
+    PENDING.with(|p| p.set(seq));
+    seq
+}
+
+/// Marks the start of a structural command on this thread: consumes the
+/// [`prepare_command`] seq if one is parked (else allocates), records a
+/// `CommandBegin` frame, and switches the phase to [`Phase::User`].
+/// Returns the seq, or 0 while disabled.
+pub fn begin_command(kind: CommandKind, target: u64) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let seq = {
+        let parked = PENDING.with(|p| p.replace(0));
+        if parked != 0 {
+            parked
+        } else {
+            alloc_seq()
+        }
+    };
+    CURRENT.with(|c| c.set(seq));
+    PHASE.with(|p| p.set(Phase::User.index() as u8));
+    globals()
+        .ring
+        .push(&FlightEvent::CommandBegin { seq, kind, target });
+    seq
+}
+
+/// Marks the command complete. `accesses` must be the same per-command
+/// page-access delta `OpStats::record_command` receives — replay treats it
+/// as the authoritative total the per-phase breakdown must sum to. The
+/// seq stays parked on the thread (idle phase) so the durability layer
+/// can still stamp WAL frames onto it.
+pub fn end_command(accesses: u64, shift_steps: u64, micros: u64) {
+    if !enabled() {
+        return;
+    }
+    let seq = CURRENT.with(|c| c.get());
+    if seq == 0 {
+        return;
+    }
+    globals().ring.push(&FlightEvent::CommandEnd {
+        seq,
+        accesses,
+        shift_steps,
+        micros,
+    });
+    PHASE.with(|p| p.set(PHASE_IDLE));
+}
+
+/// Voids the begun command: it turned out to be a value replace, a miss,
+/// or a capacity refusal — not a structural command. Replay discards it.
+pub fn cancel_command() {
+    if !enabled() {
+        return;
+    }
+    let seq = CURRENT.with(|c| c.get());
+    if seq == 0 {
+        return;
+    }
+    globals().ring.push(&FlightEvent::CommandCancel { seq });
+    PHASE.with(|p| p.set(PHASE_IDLE));
+}
+
+/// Scoped phase override: sets the attribution phase for the enclosing
+/// scope and restores the previous one on drop. Constructed via [`phase`].
+pub struct PhaseGuard {
+    prev: u8,
+    armed: bool,
+}
+
+/// Enters `p` for the current scope (no-op while disabled).
+///
+/// `dsf-core` wraps SHIFT in [`Phase::Shift`] and ACTIVATE in
+/// [`Phase::Activate`]; `dsf-durable` wraps its WAL append in
+/// [`Phase::Wal`] (which also re-arms access recording for the frames it
+/// writes *after* the command ended).
+#[must_use = "the phase reverts when the guard drops"]
+pub fn phase(p: Phase) -> PhaseGuard {
+    if !enabled() {
+        return PhaseGuard {
+            prev: 0,
+            armed: false,
+        };
+    }
+    let prev = PHASE.with(|c| c.replace(p.index() as u8));
+    PhaseGuard { prev, armed: true }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            PHASE.with(|c| c.set(self.prev));
+        }
+    }
+}
+
+/// Records `pages` page charges under the current command and phase.
+/// Skipped while disabled, while no command is in flight (idle phase), or
+/// when `pages == 0`.
+#[inline]
+pub fn record_access(kind: AccessKind, pages: u64) {
+    if !enabled() || pages == 0 {
+        return;
+    }
+    let phase_code = PHASE.with(|p| p.get());
+    if phase_code == PHASE_IDLE {
+        return;
+    }
+    let seq = CURRENT.with(|c| c.get());
+    if seq == 0 {
+        return;
+    }
+    let phase = match phase_code {
+        0 => Phase::User,
+        1 => Phase::Shift,
+        2 => Phase::Activate,
+        3 => Phase::Rollback,
+        _ => Phase::Wal,
+    };
+    globals().ring.push(&FlightEvent::Access {
+        seq,
+        phase,
+        kind,
+        pages,
+    });
+}
+
+fn record_under_current(make: impl FnOnce(u64) -> FlightEvent) {
+    if !enabled() {
+        return;
+    }
+    let seq = CURRENT.with(|c| c.get());
+    if seq == 0 {
+        return;
+    }
+    globals().ring.push(&make(seq));
+}
+
+/// Records one SHIFT(v) invocation for the current command.
+pub fn record_shift(node: u64, source: u64, dest: u64, moved: u64) {
+    record_under_current(|seq| FlightEvent::Shift {
+        seq,
+        node,
+        source,
+        dest,
+        moved,
+    });
+}
+
+/// Records one ACTIVATE(w) for the current command.
+pub fn record_activate(node: u64, dest: u64) {
+    record_under_current(|seq| FlightEvent::Activate { seq, node, dest });
+}
+
+/// Records a roll-back rule application for the current command.
+pub fn record_rollback(node: u64, new_dest: u64) {
+    record_under_current(|seq| FlightEvent::Rollback {
+        seq,
+        node,
+        new_dest,
+    });
+}
+
+/// Records a lowered warning flag for the current command.
+pub fn record_flag_lowered(node: u64) {
+    record_under_current(|seq| FlightEvent::FlagLowered { seq, node });
+}
+
+/// Records a WAL frame appended on behalf of the current (just-ended)
+/// command.
+pub fn record_wal_frame(bytes: u64) {
+    record_under_current(|seq| FlightEvent::WalFrame { seq, bytes });
+}
+
+/// Records an fsync charged to the current (just-ended) command.
+pub fn record_fsync(micros: u64) {
+    record_under_current(|seq| FlightEvent::Fsync { seq, micros });
+}
+
+/// Records a shard write-lock wait for the *upcoming* command (the seq
+/// parked by [`prepare_command`]).
+pub fn record_lock_wait(shard: u64, micros: u64) {
+    if !enabled() {
+        return;
+    }
+    let seq = PENDING.with(|p| p.get());
+    if seq == 0 {
+        return;
+    }
+    globals()
+        .ring
+        .push(&FlightEvent::LockWait { seq, shard, micros });
+}
+
+/// Records a flag-stable moment snapshot (per-slot record counts) for the
+/// current command. Only captured when [`set_moments`] is on.
+pub fn record_moment(moment: u8, counts: &[u64]) {
+    if !moments_enabled() {
+        return;
+    }
+    record_under_current(|seq| FlightEvent::Moment {
+        seq,
+        moment,
+        counts: counts.to_vec(),
+    });
+}
+
+/// Snapshots the global ring into a [`FlightLog`] carrying `budget` (the
+/// recording file's resolved configuration) for later auditing.
+pub fn snapshot_log(budget: BoundBudget) -> FlightLog {
+    let g = globals();
+    let (events, dropped) = g.ring.snapshot();
+    FlightLog {
+        budget,
+        total: g.ring.total(),
+        dropped,
+        events,
+    }
+}
+
+/// Snapshots the global ring and writes it to a `.flight` file.
+pub fn save(path: impl AsRef<std::path::Path>, budget: BoundBudget) -> std::io::Result<()> {
+    snapshot_log(budget).save(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global recorder is process-wide state; exercise it from one
+    /// test so parallel test threads cannot interleave captures.
+    #[test]
+    fn global_recorder_threads_one_seq_through_a_command() {
+        clear();
+        enable();
+
+        // The sharding layer parks a seq with the lock wait...
+        let prepared = prepare_command();
+        record_lock_wait(2, 40);
+        // ...the core consumes it for the command...
+        let seq = begin_command(CommandKind::Insert, 7);
+        assert_eq!(seq, prepared);
+        record_access(AccessKind::Read, 2);
+        {
+            let _g = phase(Phase::Shift);
+            record_shift(15, 7, 6, 6);
+            record_access(AccessKind::Write, 2);
+        }
+        record_access(AccessKind::Write, 1);
+        end_command(5, 1, 33);
+        // ...and the durability layer stamps its post-command WAL frame.
+        {
+            let _g = phase(Phase::Wal);
+            record_wal_frame(41);
+            record_fsync(120);
+        }
+
+        // Idle-phase charges (a lookup, say) must not be attributed.
+        record_access(AccessKind::Read, 99);
+
+        // A replace: begun, then cancelled.
+        begin_command(CommandKind::Insert, 3);
+        record_access(AccessKind::Read, 1);
+        cancel_command();
+
+        disable();
+        let log = snapshot_log(BoundBudget {
+            j: 3,
+            k: 1,
+            log_slots: 3,
+            gap: 9,
+        });
+        let attr = log.replay();
+        assert_eq!(attr.command_count(), 1);
+        assert_eq!(attr.cancelled, 1);
+        let c = &attr.commands[0];
+        assert_eq!(c.seq, seq);
+        assert_eq!(c.user_pages(), 3);
+        assert_eq!(c.shift_pages(), 2);
+        assert_eq!(c.attributed(), c.accesses);
+        assert_eq!(c.wal_frames, 1);
+        assert_eq!(c.fsync_micros, 120);
+        assert_eq!(c.lock_wait_micros, 40);
+        assert_eq!(c.shifts.len(), 1);
+        assert!(attr.reconciles());
+        assert!(attr.audit().ok());
+        clear();
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        // Never enables: every call must be a no-op regardless of what the
+        // parallel test above does to its own window of the ring.
+        assert_eq!(begin_command(CommandKind::Delete, 0), 0);
+        assert_eq!(prepare_command(), 0);
+        end_command(1, 0, 0);
+        record_access(AccessKind::Read, 5);
+        let _g = phase(Phase::Shift);
+    }
+}

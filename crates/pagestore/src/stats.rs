@@ -8,11 +8,35 @@
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
+use crate::tel::PagestoreTel;
+
 /// Monotonic counters of physical page reads and writes.
-#[derive(Debug, Default)]
 pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Pre-resolved telemetry handles: `charge_*` runs on the per-access
+    /// hot path, so the OnceLock lookup happens once per `IoStats` (at
+    /// construction) instead of once per charge.
+    tel: &'static PagestoreTel,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        IoStats {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            tel: crate::tel::tel(),
+        }
+    }
+}
+
+impl std::fmt::Debug for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoStats")
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish()
+    }
 }
 
 /// A point-in-time copy of [`IoStats`], used to attribute accesses to a
@@ -52,18 +76,22 @@ impl IoStats {
     /// Also mirrored into the process-wide telemetry spine
     /// (`dsf_page_reads_total`) — a single-branch no-op while the global
     /// registry is disabled, so per-instance attribution stays exact and
-    /// free of observability cost by default.
+    /// free of observability cost by default — and into the flight
+    /// recorder, which tags the charge with the current command sequence
+    /// number and algorithm phase (same single-branch contract).
     #[inline]
     pub fn charge_reads(&self, n: u64) {
         self.reads.fetch_add(n, Relaxed);
-        crate::tel::tel().reads.add(n);
+        self.tel.reads.add(n);
+        dsf_flight::record_access(dsf_flight::AccessKind::Read, n);
     }
 
     /// Charges `n` page writes (mirrored as `dsf_page_writes_total`).
     #[inline]
     pub fn charge_writes(&self, n: u64) {
         self.writes.fetch_add(n, Relaxed);
-        crate::tel::tel().writes.add(n);
+        self.tel.writes.add(n);
+        dsf_flight::record_access(dsf_flight::AccessKind::Write, n);
     }
 
     /// Cumulative page reads.

@@ -176,12 +176,18 @@ impl Registry {
 /// Routes one request path against the **global** spine.
 fn respond_to(path: &str) -> (u16, &'static str, String) {
     match path {
-        "/metrics" => (
-            200,
-            "text/plain; version=0.0.4; charset=utf-8",
-            crate::global().render_prometheus(),
-        ),
-        "/json" => (200, "application/json", crate::global().render_json()),
+        "/metrics" => {
+            crate::refresh_span_gauges();
+            (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::global().render_prometheus(),
+            )
+        }
+        "/json" => {
+            crate::refresh_span_gauges();
+            (200, "application/json", crate::global().render_json())
+        }
         "/spans" => (200, "application/json", crate::spans().render_json(256)),
         "/" => (
             200,

@@ -84,6 +84,29 @@ pub fn enabled() -> bool {
     global().is_enabled()
 }
 
+/// Publishes the global span ring's own health as gauges
+/// (`dsf_span_ring_dropped`, `dsf_span_ring_capacity`), so a scrape can
+/// tell how lossy the retained spans are without a side channel.
+///
+/// Exporters call this at scrape/refresh time (like the `O(M)` file
+/// gauges); it is not a per-push hook. No-op while the spine is disabled.
+pub fn refresh_span_gauges() {
+    if !enabled() {
+        return;
+    }
+    let r = global();
+    r.gauge(
+        "dsf_span_ring_dropped",
+        "spans evicted from the global span ring",
+    )
+    .set(spans().dropped() as f64);
+    r.gauge(
+        "dsf_span_ring_capacity",
+        "span slots in the global span ring",
+    )
+    .set(spans().capacity() as f64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,10 @@
 //! dsf image-stream ledger.img --from 0 --to 99999
 //! dsf top ledger.dsf --workload uniform --ops 2000
 //! dsf serve-metrics ledger.dsf --port 9184 --workload hammer --ops 1000
+//! dsf flight record run.flight --example52
+//! dsf flight replay run.flight
+//! dsf flight explain run.flight --top 3
+//! dsf bench-gate BENCH_telemetry.json fresh.json --threshold 0.15
 //! ```
 
 use std::fs::File;
@@ -64,7 +68,15 @@ usage:
   dsf image-stream <image-path> [--from KEY] [--to KEY]   (reads straight off disk)
   dsf top <path> [--workload uniform|burst|hammer] [--ops N]   (in-memory; live metric table)
   dsf serve-metrics <path> [--port P] [--workload W] [--ops N] [--oneshot [--requests R]]
-      serves /metrics (Prometheus), /json, /spans over HTTP (in-memory; never saves)";
+      serves /metrics (Prometheus), /json, /spans over HTTP (in-memory; never saves)
+  dsf flight record <out.flight> (--example52 | [--pages M] [--min-density d] [--max-density D]
+      [--j J] [--workload W] [--ops N]) [--moments]   (records a fresh in-memory run)
+  dsf flight replay <file.flight>    (per-command attribution + bound audit summary)
+  dsf flight explain <file.flight> [--top K] [--seq N]
+      worst-K table + causal trace of the arg-max command; --seq adds the
+      Figure-4-style per-moment table for one command
+  dsf bench-gate <baseline.json> <candidate.json> [--threshold T] [--report path]
+      fails (exit 1) when io_call_ratio / overhead_ratio / max_accesses regress > T (default 0.15)";
 
 fn run(args: &[String]) -> Result<String, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -85,6 +97,8 @@ fn run(args: &[String]) -> Result<String, String> {
         "image-stream" => image_stream(&args[1..]),
         "top" => top(&args[1..]),
         "serve-metrics" => serve_metrics(&args[1..]),
+        "flight" => flight(&args[1..]),
+        "bench-gate" => bench_gate(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -525,6 +539,7 @@ fn top(args: &[String]) -> Result<String, String> {
     willard_dsf::telemetry::global().enable();
     let done = drive_workload(&mut ledger, &workload, ops).map_err(|e| format!("top: {e}"))?;
     ledger.refresh_telemetry_gauges();
+    willard_dsf::telemetry::refresh_span_gauges();
     let s = ledger.op_stats();
     let (spans, dropped) = willard_dsf::telemetry::spans().snapshot();
     Ok(format!(
@@ -575,6 +590,376 @@ fn serve_metrics(args: &[String]) -> Result<String, String> {
             .serve_forever()
             .map_err(|e| format!("serve-metrics: {e}"))?;
         Ok(String::new())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder.
+// ---------------------------------------------------------------------
+
+fn flight(args: &[String]) -> Result<String, String> {
+    let sub = args
+        .first()
+        .ok_or("flight: expected record|replay|explain")?;
+    match sub.as_str() {
+        "record" => flight_record(&args[1..]),
+        "replay" => flight_replay(&args[1..]),
+        "explain" => flight_explain(&args[1..]),
+        other => Err(format!("flight: unknown subcommand `{other}`")),
+    }
+}
+
+/// Builds the audit budget a `.flight` file carries from a file's resolved
+/// configuration.
+fn flight_budget(ledger: &Ledger) -> willard_dsf::flight::BoundBudget {
+    let cfg = ledger.config();
+    willard_dsf::flight::BoundBudget {
+        j: u64::from(cfg.j),
+        k: u64::from(cfg.k),
+        log_slots: u64::from(cfg.log_slots),
+        gap: cfg.slot_max - cfg.slot_min,
+    }
+}
+
+fn flight_record(args: &[String]) -> Result<String, String> {
+    use willard_dsf::flight;
+    let out = args.first().ok_or("flight record: missing <out.flight>")?;
+    let example52 = has_flag(args, "--example52");
+    // Moment snapshots cost O(M) per flag-stable moment; always on for the
+    // 8-page Example 5.2 file, opt-in otherwise.
+    let moments = has_flag(args, "--moments") || example52;
+
+    // Telemetry runs alongside so the flight log can be cross-checked
+    // against the histogram (`dsf_command_page_accesses_max` below must
+    // equal the worst command `flight explain` reconstructs).
+    let reg = willard_dsf::telemetry::global();
+    reg.reset();
+    willard_dsf::telemetry::spans().clear();
+    reg.enable();
+    flight::clear();
+    flight::set_moments(moments);
+
+    let (ledger, done) = if example52 {
+        // The paper's Example 5.2: M=8, d#=9, D#=18, J=3, layout
+        // [16,1,0,1,9,9,9,16], then the two inserts Z₁ (7500) and Z₂ (500)
+        // whose flag-stable moments are Figure 4's rows t₁..t₈.
+        let cfg = DenseFileConfig::control2(8, 9, 18)
+            .with_j(3)
+            .with_macro_blocking(willard_dsf::MacroBlocking::Disabled);
+        let mut f: Ledger = DenseFile::new(cfg).map_err(|e| e.to_string())?;
+        let counts = [16usize, 1, 0, 1, 9, 9, 9, 16];
+        let layout: Vec<Vec<(u64, String)>> = counts
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| {
+                (0..n)
+                    .map(|i| (s as u64 * 1000 + i as u64 + 1, format!("r{s}.{i}")))
+                    .collect()
+            })
+            .collect();
+        f.bulk_load_per_slot(layout)
+            .map_err(|e| format!("flight record: {e}"))?;
+        flight::enable();
+        f.insert(7500, "z1".into()).map_err(|e| e.to_string())?;
+        f.insert(500, "z2".into()).map_err(|e| e.to_string())?;
+        (f, 2)
+    } else {
+        let pages: u32 = match flag(args, "--pages") {
+            Some(s) => parse(&s, "--pages")?,
+            None => 256,
+        };
+        let d: u32 = match flag(args, "--min-density") {
+            Some(s) => parse(&s, "--min-density")?,
+            None => 6,
+        };
+        let big_d: u32 = match flag(args, "--max-density") {
+            Some(s) => parse(&s, "--max-density")?,
+            None => 8,
+        };
+        let mut config = DenseFileConfig::control2(pages, d, big_d);
+        if let Some(j) = flag(args, "--j") {
+            config = config.with_j(parse(&j, "--j")?);
+        }
+        let mut f: Ledger = DenseFile::new(config).map_err(|e| e.to_string())?;
+        // A 3/5 backbone makes the subsequent inserts trigger real
+        // maintenance (same shape as `exp_telemetry`).
+        let backbone = f.capacity() * 3 / 5;
+        let stride = u64::MAX / (backbone + 1);
+        f.bulk_load((0..backbone).map(|i| (i * stride, format!("r{i}"))))
+            .map_err(|e| format!("flight record: {e}"))?;
+        flight::enable();
+        let workload = flag(args, "--workload").unwrap_or_else(|| "uniform".into());
+        let ops: usize = match flag(args, "--ops") {
+            Some(s) => parse(&s, "--ops")?,
+            None => 1000,
+        };
+        let done =
+            drive_workload(&mut f, &workload, ops).map_err(|e| format!("flight record: {e}"))?;
+        (f, done)
+    };
+    flight::disable();
+    flight::set_moments(false);
+
+    let budget = flight_budget(&ledger);
+    flight::save(out, budget).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    let ring = flight::ring();
+    let hist = reg.histogram(
+        "dsf_command_page_accesses",
+        "page accesses per structural command (the paper's cost unit)",
+    );
+    let summary = format!(
+        "recorded {done} commands to `{out}`: {} events ({} dropped), {} bytes\n\
+         worst command: {} page accesses (J={}, page bound {})\n\
+         dsf_command_page_accesses_max {}\n",
+        ring.total(),
+        ring.dropped(),
+        ring.bytes(),
+        ledger.op_stats().max_accesses,
+        budget.j,
+        budget.page_limit(),
+        hist.max(),
+    );
+    reg.disable();
+    flight::clear();
+    Ok(summary)
+}
+
+fn flight_replay(args: &[String]) -> Result<String, String> {
+    use willard_dsf::flight::Violation;
+    let path = args.first().ok_or("flight replay: missing <file.flight>")?;
+    let log = willard_dsf::flight::FlightLog::load(path)
+        .map_err(|e| format!("cannot load `{path}`: {e}"))?;
+    let attr = log.replay();
+    let audit = attr.audit();
+    let mut out = format!(
+        "flight log `{path}`: {} events retained ({} dropped of {} recorded)\n\
+         budget: J={} K={} L={} gap={} → page bound {}\n\
+         commands: {} complete, {} cancelled, {} incomplete\n\
+         accesses: total {}, worst {}; per-phase attribution reconciles: {}\n",
+        log.events.len(),
+        log.dropped,
+        log.total,
+        log.budget.j,
+        log.budget.k,
+        log.budget.log_slots,
+        log.budget.gap,
+        audit.page_limit,
+        attr.command_count(),
+        attr.cancelled,
+        attr.incomplete,
+        attr.total_accesses(),
+        attr.max_accesses(),
+        attr.reconciles(),
+    );
+    if audit.ok() {
+        out.push_str("audit: OK — every command within the J-step budget and the page bound\n");
+    } else {
+        out.push_str(&format!("audit: {} violation(s)\n", audit.violations.len()));
+        for v in &audit.violations {
+            match v {
+                Violation::JBudget { seq, shift_steps } => out.push_str(&format!(
+                    "  command {seq}: {shift_steps} SHIFT steps > J={}\n",
+                    log.budget.j
+                )),
+                Violation::PageBound { seq, accesses } => out.push_str(&format!(
+                    "  command {seq}: {accesses} page accesses > bound {}\n",
+                    audit.page_limit
+                )),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn flight_explain(args: &[String]) -> Result<String, String> {
+    let path = args
+        .first()
+        .ok_or("flight explain: missing <file.flight>")?;
+    let log = willard_dsf::flight::FlightLog::load(path)
+        .map_err(|e| format!("cannot load `{path}`: {e}"))?;
+    let attr = log.replay();
+    if let Some(seq_s) = flag(args, "--seq") {
+        let seq: u64 = parse(&seq_s, "--seq")?;
+        let c = attr.find(seq).ok_or(format!(
+            "flight explain: no complete command with seq {seq}"
+        ))?;
+        return Ok(explain_command(c, &log.budget));
+    }
+    let k: usize = match flag(args, "--top") {
+        Some(s) => parse(&s, "--top")?,
+        None => 3,
+    };
+    let top = attr.top(k);
+    if top.is_empty() {
+        return Ok("no complete commands in this flight log\n".to_string());
+    }
+    let mut out = format!(
+        "top {} of {} commands by page accesses (J={}, page bound {}):\n\
+         \x20  seq  kind    slot  pages   user  shift  activ  rollb  wal  steps  wal_frames\n",
+        top.len(),
+        attr.command_count(),
+        log.budget.j,
+        log.budget.page_limit(),
+    );
+    for c in &top {
+        out.push_str(&format!(
+            "  {:>5} {:7} {:>5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>4} {:>6} {:>11}\n",
+            c.seq,
+            c.kind.map(|k| k.label()).unwrap_or("?"),
+            c.target,
+            c.accesses,
+            c.user_pages(),
+            c.shift_pages(),
+            c.activate_pages(),
+            c.rollback_pages(),
+            c.wal_pages(),
+            c.shift_steps,
+            c.wal_frames,
+        ));
+    }
+    let worst = attr.worst().expect("top is non-empty");
+    out.push_str(&format!("\nworst command: seq {}\n", worst.seq));
+    out.push_str(&explain_command(worst, &log.budget));
+    Ok(out)
+}
+
+/// Renders one command's full causal trace (plus its Figure-4-style
+/// per-moment table when moment snapshots were recorded).
+fn explain_command(
+    c: &willard_dsf::flight::CommandCost,
+    budget: &willard_dsf::flight::BoundBudget,
+) -> String {
+    let mut out = format!(
+        "command {} ({} → slot {}): {} page accesses (page bound {}), {} µs\n\
+         \x20 breakdown: user {}, SHIFT {}, ACTIVATE {}, rollback {}, WAL {} pages\n",
+        c.seq,
+        c.kind.map(|k| k.label()).unwrap_or("?"),
+        c.target,
+        c.accesses,
+        budget.page_limit(),
+        c.micros,
+        c.user_pages(),
+        c.shift_pages(),
+        c.activate_pages(),
+        c.rollback_pages(),
+        c.wal_pages(),
+    );
+    out.push_str(&format!(
+        "  {} SHIFT steps of J={}; {} flags lowered; {} WAL frames ({} B); fsync {} µs; lock wait {} µs\n",
+        c.shift_steps,
+        budget.j,
+        c.flags_lowered,
+        c.wal_frames,
+        c.wal_bytes,
+        c.fsync_micros,
+        c.lock_wait_micros,
+    ));
+    for (node, dest) in &c.activations {
+        out.push_str(&format!("  ACTIVATE(v{node}) → DEST slot {dest}\n"));
+    }
+    for (node, new_dest) in &c.rollbacks {
+        out.push_str(&format!(
+            "  rollback: DEST(v{node}) reset to slot {new_dest}\n"
+        ));
+    }
+    for s in &c.shifts {
+        out.push_str(&format!(
+            "  SHIFT(v{}): slot {} → slot {}, {} records\n",
+            s.node, s.source, s.dest, s.moved
+        ));
+    }
+    if !c.moments.is_empty() {
+        out.push_str("  flag-stable moments (per-slot record counts, as in Figure 4):\n");
+        for (i, (class, counts)) in c.moments.iter().enumerate() {
+            let label = if *class == 0 {
+                "after step 3 "
+            } else {
+                "after step 4c"
+            };
+            let row: Vec<String> = counts.iter().map(u64::to_string).collect();
+            out.push_str(&format!("    m{} {}: [{}]\n", i + 1, label, row.join(", ")));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Bench regression gate.
+// ---------------------------------------------------------------------
+
+/// Extracts a top-level numeric field from one of the `BENCH_*.json`
+/// artifacts (flat enough that a full JSON parser is not worth a
+/// dependency; nested objects only shadow keys we never gate on).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = text.find(&pat)? + pat.len();
+    let rest = text[i..].trim_start();
+    let end = rest
+        .find(|ch: char| !(ch.is_ascii_digit() || "+-.eE".contains(ch)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn bench_gate(args: &[String]) -> Result<String, String> {
+    let baseline_path = args.first().ok_or("bench-gate: missing <baseline.json>")?;
+    let candidate_path = args.get(1).ok_or("bench-gate: missing <candidate.json>")?;
+    let threshold: f64 = match flag(args, "--threshold") {
+        Some(s) => parse(&s, "--threshold")?,
+        None => 0.15,
+    };
+    let base = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
+    let cand = std::fs::read_to_string(candidate_path)
+        .map_err(|e| format!("cannot read `{candidate_path}`: {e}"))?;
+    // (metric, higher-is-better). Only metrics present in BOTH files gate.
+    const GATED: &[(&str, bool)] = &[
+        ("io_call_ratio", true),
+        ("overhead_ratio", false),
+        ("max_accesses", false),
+    ];
+    let mut report = format!(
+        "bench-gate: `{candidate_path}` vs baseline `{baseline_path}` (threshold {:.0}%)\n",
+        threshold * 100.0
+    );
+    let mut checked = 0u32;
+    let mut regressions: Vec<&str> = Vec::new();
+    for &(key, higher_better) in GATED {
+        let (Some(b), Some(c)) = (json_number(&base, key), json_number(&cand, key)) else {
+            continue;
+        };
+        checked += 1;
+        let change = if b == 0.0 { 0.0 } else { (c - b) / b };
+        let regressed = if higher_better {
+            change < -threshold
+        } else {
+            change > threshold
+        };
+        report.push_str(&format!(
+            "  {key:<16} baseline {b:>10.4}  candidate {c:>10.4}  change {:>+7.1}%  {}\n",
+            change * 100.0,
+            if regressed { "REGRESSION" } else { "ok" }
+        ));
+        if regressed {
+            regressions.push(key);
+        }
+    }
+    if checked == 0 {
+        return Err(format!(
+            "bench-gate: none of the gated metrics (io_call_ratio, overhead_ratio, max_accesses) \
+             appear in both `{baseline_path}` and `{candidate_path}`"
+        ));
+    }
+    if let Some(rp) = flag(args, "--report") {
+        std::fs::write(&rp, &report).map_err(|e| format!("cannot write `{rp}`: {e}"))?;
+    }
+    if regressions.is_empty() {
+        report.push_str("bench-gate: PASS\n");
+        Ok(report)
+    } else {
+        Err(format!(
+            "{report}bench-gate: FAIL — regression in {}",
+            regressions.join(", ")
+        ))
     }
 }
 

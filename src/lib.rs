@@ -28,6 +28,11 @@
 //!   default; zero-allocation, single-branch when off), per-command spans,
 //!   and Prometheus/JSON exporters behind `dsf serve-metrics` and
 //!   `dsf top`. See `docs/OBSERVABILITY.md` for the metric catalogue.
+//! * [`flight`] — the flight recorder: a bounded binary event ring in
+//!   which every layer records under one per-command sequence number,
+//!   replayable into causal cost attribution (user step vs SHIFT vs
+//!   ACTIVATE vs WAL) audited against the paper's worst-case bound. Behind
+//!   `dsf flight record`/`replay`/`explain`.
 //!
 //! The most common types are re-exported at the crate root; see the
 //! `examples/` directory for runnable walkthroughs and `crates/bench` for
@@ -41,6 +46,7 @@ pub use dsf_btree as btree;
 pub use dsf_concurrent as concurrent;
 pub use dsf_core as core_;
 pub use dsf_durable as durable;
+pub use dsf_flight as flight;
 pub use dsf_pagestore as pagestore;
 pub use dsf_telemetry as telemetry;
 pub use dsf_workloads as workloads;

@@ -322,6 +322,189 @@ fn cli_physical_image_round_trip() {
 }
 
 #[test]
+fn cli_top_renders_spine_and_span_ring_gauges() {
+    let dir = tempdir("top");
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "t.dsf",
+            "--pages",
+            "64",
+            "--min-density",
+            "4",
+            "--max-density",
+            "24",
+        ],
+    );
+    assert!(out.status.success(), "{out:?}");
+    let out = dsf(
+        &dir,
+        &["top", "t.dsf", "--workload", "uniform", "--ops", "200"],
+    );
+    assert!(out.status.success(), "{out:?}");
+    let s = stdout(&out);
+    assert!(s.contains("drove 200 uniform inserts"), "{s}");
+    assert!(s.contains("spans retained"), "{s}");
+    assert!(s.contains("dsf_commands_total"), "{s}");
+    // The span ring's health gauges must be in the table (satellite of the
+    // flight-recorder ISSUE: drop counter + capacity as gauges).
+    assert!(s.contains("dsf_span_ring_capacity"), "{s}");
+    assert!(s.contains("dsf_span_ring_dropped"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_serve_metrics_oneshot_serves_valid_exposition() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = tempdir("serve");
+    let out = dsf(
+        &dir,
+        &[
+            "create",
+            "t.dsf",
+            "--pages",
+            "64",
+            "--min-density",
+            "4",
+            "--max-density",
+            "24",
+        ],
+    );
+    assert!(out.status.success(), "{out:?}");
+
+    // `--port 0` asks the kernel for a free port; the child prints the
+    // resolved address before blocking on the single permitted request.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dsf"))
+        .current_dir(&dir)
+        .args([
+            "serve-metrics",
+            "t.dsf",
+            "--port",
+            "0",
+            "--oneshot",
+            "--workload",
+            "uniform",
+            "--ops",
+            "150",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "child exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("serving http://") {
+            break rest.split('/').next().unwrap().to_string();
+        }
+    };
+
+    let mut sock = std::net::TcpStream::connect(&addr).expect("connect to oneshot server");
+    sock.write_all(b"GET /metrics HTTP/1.0\r\nHost: dsf\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    sock.read_to_string(&mut response).unwrap();
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "serve-metrics --oneshot failed: {status}");
+
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP response has a header/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+
+    // The strict 0.0.4 parser rejects duplicate samples, untyped families,
+    // and malformed lines — this is the no-duplicate-samples guarantee.
+    let summary =
+        willard_dsf::telemetry::parse_exposition(body).expect("exposition must parse strictly");
+    assert!(summary.families >= 5, "families: {}", summary.families);
+    assert!(summary.samples > summary.families);
+    assert!(body.contains("dsf_command_page_accesses_count"), "{body}");
+    assert!(body.contains("dsf_span_ring_capacity"), "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_flight_example52_and_bench_gate() {
+    let dir = tempdir("flight");
+
+    // Record the paper's Example 5.2 run; the summary quotes the spine's
+    // histogram max for cross-checking against the flight log.
+    let out = dsf(&dir, &["flight", "record", "ex52.flight", "--example52"]);
+    assert!(out.status.success(), "{out:?}");
+    let rec = stdout(&out);
+    let hist_max: u64 = rec
+        .lines()
+        .find_map(|l| l.strip_prefix("dsf_command_page_accesses_max "))
+        .expect("record quotes the histogram max")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(hist_max > 0, "{rec}");
+
+    let out = dsf(&dir, &["flight", "replay", "ex52.flight"]);
+    assert!(out.status.success(), "{out:?}");
+    let rep = stdout(&out);
+    assert!(rep.contains("commands: 2 complete, 0 cancelled"), "{rep}");
+    assert!(rep.contains("attribution reconciles: true"), "{rep}");
+    assert!(rep.contains("audit: OK"), "{rep}");
+
+    let out = dsf(&dir, &["flight", "explain", "ex52.flight", "--top", "3"]);
+    assert!(out.status.success(), "{out:?}");
+    let exp = stdout(&out);
+    assert!(exp.contains("worst command: seq"), "{exp}");
+    assert!(exp.contains("breakdown: user"), "{exp}");
+    assert!(exp.contains("flag-stable moments"), "{exp}");
+    // Acceptance criterion: the worst command the flight log reconstructs
+    // carries exactly the page total the live histogram saw.
+    let worst_total: u64 = exp
+        .lines()
+        .skip_while(|l| !l.starts_with("worst command"))
+        .find_map(|l| {
+            let (head, _) = l.split_once(" page accesses")?;
+            head.rsplit(' ').next()?.parse().ok()
+        })
+        .expect("explain states the worst command's page total");
+    assert_eq!(worst_total, hist_max, "{exp}");
+
+    // bench-gate: identical numbers pass; a doctored 20% regression fails.
+    let base =
+        "{\n  \"io_call_ratio\": 3.20,\n  \"overhead_ratio\": 1.20,\n  \"max_accesses\": 18\n}\n";
+    std::fs::write(dir.join("base.json"), base).unwrap();
+    std::fs::write(dir.join("same.json"), base).unwrap();
+    std::fs::write(
+        dir.join("bad.json"),
+        "{\n  \"io_call_ratio\": 2.56,\n  \"overhead_ratio\": 1.20,\n  \"max_accesses\": 18\n}\n",
+    )
+    .unwrap();
+    let out = dsf(&dir, &["bench-gate", "base.json", "same.json"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("bench-gate: PASS"));
+    let out = dsf(
+        &dir,
+        &[
+            "bench-gate",
+            "base.json",
+            "bad.json",
+            "--report",
+            "gate.txt",
+        ],
+    );
+    assert!(!out.status.success(), "doctored regression must fail");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("regression in io_call_ratio"), "{err}");
+    assert!(std::fs::read_to_string(dir.join("gate.txt"))
+        .unwrap()
+        .contains("REGRESSION"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_control1_files() {
     let dir = tempdir("control1");
     let out = dsf(
