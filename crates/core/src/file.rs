@@ -355,6 +355,12 @@ impl<K: Key, V> DenseFile<K, V> {
     /// commands that will push a span: the other commands skip the
     /// `Instant::now` pair as well as the span-ring mutex, which is most of
     /// the enabled-path overhead (counter deltas are plain relaxed adds).
+    ///
+    /// The clock counts *completed structural* commands: this only peeks,
+    /// and [`tel_post`](Self::tel_post) — never reached by replaces and
+    /// misses — advances it. A non-structural attempt therefore consumes no
+    /// sampled slot; the next structural command sees the same tick and
+    /// still pushes its span (exactly `ceil(commands / N)` spans total).
     #[inline]
     fn tel_pre(&self) -> Option<TelPre> {
         if !dsf_telemetry::enabled() {
@@ -363,7 +369,7 @@ impl<K: Key, V> DenseFile<K, V> {
         let t = crate::tel::tel();
         let sampled = t
             .span_clock
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .load(std::sync::atomic::Ordering::Relaxed)
             .is_multiple_of(crate::tel::SPAN_SAMPLE_EVERY);
         Some(TelPre {
             start: sampled.then(std::time::Instant::now),
@@ -381,6 +387,10 @@ impl<K: Key, V> DenseFile<K, V> {
     /// deltas since `pre`, the cheap gauges, and a [`dsf_telemetry::Span`].
     fn tel_post(&self, pre: TelPre, kind: CommandKind, slot: u32, accesses: u64) {
         let t = crate::tel::tel();
+        // Commit the sampling tick peeked in `tel_pre` — only structural
+        // commands reach this point, so only they consume sampled slots.
+        t.span_clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         t.cmd_hist.record(accesses);
         match kind {
             CommandKind::Insert => t.inserts.inc(),

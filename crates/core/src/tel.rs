@@ -55,8 +55,10 @@ pub(crate) struct CoreTel {
     /// [`DenseFile::refresh_telemetry_gauges`](crate::DenseFile::refresh_telemetry_gauges),
     /// not per command.
     pub balance_headroom: Arc<Gauge>,
-    /// Monotonic command clock driving the 1-in-[`SPAN_SAMPLE_EVERY`]
-    /// span sampling.
+    /// Monotonic *completed structural command* clock driving the
+    /// 1-in-[`SPAN_SAMPLE_EVERY`] span sampling: peeked pre-command,
+    /// advanced post-command, so replaces and misses (which bail out
+    /// before the post hook) never consume a sampled slot.
     pub span_clock: AtomicU64,
 }
 

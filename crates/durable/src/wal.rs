@@ -370,6 +370,7 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         }
         // Apply in memory first: only effective commands reach the log, and
         // a capacity rejection leaves both state and log untouched.
+        let span_tok = dsf_telemetry::spans().push_token();
         let old = self.file.insert(key, value.clone())?;
         let mut body = vec![OP_INSERT];
         key.encode(&mut body);
@@ -387,6 +388,9 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             }
             return Err(e);
         }
+        // Spans are sampled 1-in-N inside `DenseFile`; stamp the WAL frame
+        // only onto a span this very command pushed, never an older one's.
+        dsf_telemetry::spans().amend_pushed_since(span_tok, |s| s.wal_frames += 1);
         Ok(old)
     }
 
@@ -395,6 +399,7 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         if self.log_poisoned() {
             return Err(DurableError::LogPoisoned);
         }
+        let span_tok = dsf_telemetry::spans().push_token();
         let old = self.file.remove(key);
         if let Some(v) = old {
             let mut body = vec![OP_REMOVE];
@@ -403,6 +408,8 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
                 let _ = self.file.insert(*key, v);
                 return Err(e);
             }
+            // See `insert`: only a span pushed by this command is stamped.
+            dsf_telemetry::spans().amend_pushed_since(span_tok, |s| s.wal_frames += 1);
             return Ok(Some(v));
         }
         Ok(None)
@@ -432,10 +439,9 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             }
         }
         self.commands_since_checkpoint += 1;
-        // The span for this command was pushed by `DenseFile`'s own hook
-        // before the append; stamp the frame it just earned onto it. The
-        // flight frame likewise lands on the just-ended command's seq.
-        dsf_telemetry::spans().amend_last(|s| s.wal_frames += 1);
+        // The flight frame lands on the just-ended command's seq (flight
+        // records every command, unsampled). Span stamping is the caller's
+        // job: only it knows whether this command pushed a span.
         dsf_flight::record_wal_frame(frame.len() as u64);
         Ok(())
     }

@@ -55,25 +55,33 @@ impl FlightRing {
             inner.dropped += 1;
             return;
         }
-        while inner.buf.len() + frame.len() > self.capacity {
-            Self::evict_front(&mut inner);
+        if inner.buf.len() + frame.len() > self.capacity {
+            Self::evict_front(&mut inner, frame.len(), self.capacity);
         }
         inner.buf.extend(frame);
     }
 
-    /// Removes one whole frame from the front of the buffer.
-    fn evict_front(inner: &mut Inner) {
-        inner.buf.make_contiguous();
-        let (head, _) = inner.buf.as_slices();
-        let mut pos = 0usize;
-        let skip = match get_varint(head, &mut pos) {
-            Some(len) => pos + len as usize,
-            // Unreachable for frames written by `push`, but never loop
-            // forever on a buffer we cannot parse.
-            None => inner.buf.len(),
-        };
-        inner.buf.drain(..skip.min(inner.buf.len()));
-        inner.dropped += 1;
+    /// Evicts whole frames from the front until `incoming` more bytes fit
+    /// under `capacity` — one `make_contiguous` and one `drain` for the
+    /// whole batch, so a push that must displace many frames stays linear
+    /// in the evicted bytes rather than quadratic in the buffer.
+    fn evict_front(inner: &mut Inner, incoming: usize, capacity: usize) {
+        let retained = inner.buf.len();
+        let head = inner.buf.make_contiguous();
+        let mut skip = 0usize;
+        let mut evicted = 0u64;
+        while retained - skip + incoming > capacity && skip < head.len() {
+            let mut pos = skip;
+            skip = match get_varint(head, &mut pos) {
+                Some(len) => (pos + len as usize).min(head.len()),
+                // Unreachable for frames written by `push`, but never loop
+                // forever on a buffer we cannot parse.
+                None => head.len(),
+            };
+            evicted += 1;
+        }
+        inner.buf.drain(..skip);
+        inner.dropped += evicted;
     }
 
     /// Decodes and returns the retained events (oldest first) along with

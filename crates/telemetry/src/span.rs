@@ -86,6 +86,14 @@ impl SpanRing {
     /// layer pushed — `dsf-durable` stamps `wal_frames` onto the span
     /// `dsf-core` recorded for the same command. Best-effort under
     /// concurrency: another thread's span may have landed in between.
+    ///
+    /// With span *sampling* the caller usually cannot know whether the
+    /// inner layer pushed a span at all; take a [`push_token`] before the
+    /// inner call and use [`amend_pushed_since`] instead, or the
+    /// annotation lands on some *older* command's span.
+    ///
+    /// [`push_token`]: SpanRing::push_token
+    /// [`amend_pushed_since`]: SpanRing::amend_pushed_since
     pub fn amend_last(&self, f: impl FnOnce(&mut Span)) {
         if !self.on.load(Relaxed) {
             return;
@@ -93,6 +101,35 @@ impl SpanRing {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(last) = inner.buf.back_mut() {
             f(last);
+        }
+    }
+
+    /// An opaque token for [`amend_pushed_since`](SpanRing::amend_pushed_since):
+    /// the number of spans ever pushed at the time of the call. While the
+    /// ring is disabled it returns `u64::MAX`, which no later total can
+    /// exceed, so the paired amend stays a no-op.
+    pub fn push_token(&self) -> u64 {
+        if !self.on.load(Relaxed) {
+            return u64::MAX;
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).total
+    }
+
+    /// Mutates the most recent span only if at least one span was pushed
+    /// after `token` (from [`push_token`](SpanRing::push_token)) was taken.
+    /// This is the sampling-safe annotation hook: a command whose inner
+    /// layer skipped the (1-in-N sampled) span ring must not stamp its
+    /// `wal_frames` onto an older command's span. Best-effort under
+    /// concurrency: another thread's span may be the one amended.
+    pub fn amend_pushed_since(&self, token: u64, f: impl FnOnce(&mut Span)) {
+        if !self.on.load(Relaxed) {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.total > token {
+            if let Some(last) = inner.buf.back_mut() {
+                f(last);
+            }
         }
     }
 
@@ -192,6 +229,38 @@ mod tests {
         let (spans, _) = ring.snapshot();
         assert_eq!(spans[0].wal_frames, 0);
         assert_eq!(spans[1].wal_frames, 7);
+    }
+
+    #[test]
+    fn amend_pushed_since_skips_commands_that_pushed_no_span() {
+        let ring = SpanRing::new(4);
+        ring.push(span(1));
+
+        // An unsampled command: no push between token and amend, so the
+        // older span must stay untouched.
+        let tok = ring.push_token();
+        ring.amend_pushed_since(tok, |s| s.wal_frames += 1);
+        assert_eq!(ring.snapshot().0[0].wal_frames, 0);
+
+        // A sampled command: its own span takes the stamp.
+        let tok = ring.push_token();
+        ring.push(span(2));
+        ring.amend_pushed_since(tok, |s| s.wal_frames += 1);
+        let (spans, _) = ring.snapshot();
+        assert_eq!(spans[0].wal_frames, 0);
+        assert_eq!(spans[1].wal_frames, 1);
+    }
+
+    #[test]
+    fn disabled_push_token_never_matches() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ring = SpanRing::with_flag(4, Arc::clone(&flag));
+        let tok = ring.push_token();
+        assert_eq!(tok, u64::MAX);
+        flag.store(true, Relaxed);
+        ring.push(span(1));
+        ring.amend_pushed_since(tok, |s| s.wal_frames += 1);
+        assert_eq!(ring.snapshot().0[0].wal_frames, 0);
     }
 
     #[test]

@@ -67,6 +67,9 @@ fn global_spine_mirrors_op_stats_and_exports_valid_prometheus() {
 
     // Spans are sampled 1-in-SPAN_SAMPLE_EVERY (every command still lands
     // in the counters and histogram above); the sampled ones micro-time.
+    // The clock ticks only on *completed structural* commands, so the
+    // replaces this workload's `|1` key collisions produce consume no
+    // sampled slots and the count below is exact, not workload-dependent.
     let expected_spans = stats
         .commands
         .div_ceil(willard_dsf::core_::SPAN_SAMPLE_EVERY);
