@@ -24,7 +24,9 @@ mod tel;
 
 use parking_lot::RwLock;
 
-use dsf_core::{DenseFile, DenseFileConfig, DsfError, InvariantViolation, OpStats};
+use dsf_core::{
+    Command, CommandOutcome, DenseFile, DenseFileConfig, DsfError, InvariantViolation, OpStats,
+};
 
 /// How keys map to shards: `shard i` owns `[i·stripe, (i+1)·stripe)` with
 /// the last shard absorbing the remainder of the `u64` space.
@@ -189,6 +191,61 @@ impl<V> ShardedFile<V> {
         let s = self.router.shard_of(*key);
         self.shard_commands[s].inc();
         self.lock_write(s).remove(key)
+    }
+
+    /// Applies a batch of commands, partitioned by stripe and executed
+    /// **in parallel**: every shard the batch touches gets one scoped
+    /// thread (the [`par_collect_range`](Self::par_collect_range) pattern)
+    /// that takes the shard's write lock *once*, runs its sub-batch through
+    /// [`DenseFile::apply_batch`], and releases — one lock acquisition per
+    /// shard per batch instead of one per command.
+    ///
+    /// Outcomes are returned in the caller's command order. Equivalence
+    /// with one-at-a-time application holds because stripes are
+    /// key-disjoint (commands on different shards commute) and each
+    /// shard's sub-batch preserves the caller's relative order.
+    pub fn apply_batch(&self, cmds: &[Command<u64, V>]) -> Vec<CommandOutcome<V>>
+    where
+        V: Clone + Send + Sync,
+    {
+        // Partition by stripe, remembering each command's original index.
+        type Part<V> = (Vec<usize>, Vec<Command<u64, V>>);
+        let n_shards = self.router.shards as usize;
+        let mut parts: Vec<Part<V>> = (0..n_shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (i, cmd) in cmds.iter().enumerate() {
+            let s = self.router.shard_of(*cmd.key());
+            parts[s].0.push(i);
+            parts[s].1.push(cmd.clone());
+        }
+        let results: Vec<(Vec<usize>, Vec<CommandOutcome<V>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .enumerate()
+                .filter(|(_, (idx, _))| !idx.is_empty())
+                .map(|(s, (idx, sub))| {
+                    self.shard_commands[s].add(sub.len() as u64);
+                    scope.spawn(move || {
+                        let mut shard = self.lock_write(s);
+                        let outcomes = shard.apply_batch(&sub);
+                        (idx, outcomes)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard batch panicked"))
+                .collect()
+        });
+        // Scatter the per-shard outcomes back into caller order.
+        let mut out: Vec<Option<CommandOutcome<V>>> = (0..cmds.len()).map(|_| None).collect();
+        for (idx, outcomes) in results {
+            for (i, o) in idx.into_iter().zip(outcomes) {
+                out[i] = Some(o);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every command routes to exactly one shard"))
+            .collect()
     }
 
     /// Looks a key up (read lock; concurrent lookups don't block each

@@ -399,6 +399,43 @@ impl<K: Key> Calibrator<K> {
         self.range(n).0
     }
 
+    /// [`find_slot`](Self::find_slot) seeded with a caller-supplied `hint`
+    /// — the slot a nearby command in the same batch resolved to. The hint
+    /// is *validated*, never trusted: it is returned only when the counters
+    /// prove it is exactly what the full descent would compute, so batched
+    /// and one-at-a-time application resolve identical slots. A stale or
+    /// nonsensical hint silently falls back to the full descent.
+    ///
+    /// Like everything else in the calibrator this is in-memory and charges
+    /// no page accesses; the saving is CPU only (an `O(log M)` counter check
+    /// instead of an `O(log M)` descent with key comparisons at every
+    /// level, and for sorted batches the check usually exits early).
+    pub fn find_slot_hinted(&self, key: &K, hint: u32) -> u32 {
+        if self.hint_holds(key, hint) {
+            hint
+        } else {
+            self.find_slot(key)
+        }
+    }
+
+    /// `hint == find_slot(key)` iff `hint` is non-empty with minimum ≤
+    /// `key` while the *next* non-empty slot's minimum exceeds `key`
+    /// (cross-slot order makes slot minima ascend, so checking one
+    /// successor suffices).
+    fn hint_holds(&self, key: &K, hint: u32) -> bool {
+        if hint >= self.slots {
+            return false;
+        }
+        let leaf = self.leaf_of(hint);
+        if self.count(leaf) == 0 || self.min_key(leaf).is_none_or(|m| m > *key) {
+            return false;
+        }
+        match self.next_nonempty(hint + 1, self.slots - 1) {
+            None => true,
+            Some(s) => self.min_key(self.leaf_of(s)).is_some_and(|m| m > *key),
+        }
+    }
+
     /// Smallest non-empty slot in `[from, hi]`, using the counters only.
     pub fn next_nonempty(&self, from: u32, hi: u32) -> Option<u32> {
         self.scan_nonempty(NodeId::ROOT, from, hi, true)
@@ -733,6 +770,30 @@ mod tests {
     fn find_slot_on_empty_tree_returns_zero() {
         let cal: Calibrator<u64> = Calibrator::new(8, 1, 2);
         assert_eq!(cal.find_slot(&42), 0);
+    }
+
+    #[test]
+    fn find_slot_hinted_always_agrees_with_find_slot() {
+        // Batched planning is only *correct* because a hint can steer the
+        // answer but never change it: for every key and every hint —
+        // right, wrong, stale, or out of range — the hinted lookup must
+        // return exactly what a fresh root descent would.
+        let mut cal: Calibrator<u64> = Calibrator::new(8, 1, 100);
+        cal.set_leaf_raw(1, 2, Some(100));
+        cal.set_leaf_raw(3, 1, Some(300));
+        cal.set_leaf_raw(5, 1, Some(500));
+        cal.recompute_subtree(NodeId::ROOT);
+        for key in [0u64, 50, 100, 150, 299, 300, 301, 499, 500, 501, 9999] {
+            let want = cal.find_slot(&key);
+            for hint in 0..=9u32 {
+                // 8 and 9 are out of range on purpose.
+                assert_eq!(
+                    cal.find_slot_hinted(&key, hint),
+                    want,
+                    "key {key} hint {hint}"
+                );
+            }
+        }
     }
 
     #[test]

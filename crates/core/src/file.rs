@@ -232,12 +232,29 @@ impl<K: Key, V> DenseFile<K, V> {
     /// [`DsfError::CapacityExceeded`] if the file already holds
     /// `N = d·M` records and `key` is not present.
     pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>, DsfError> {
+        self.insert_hinted(key, value, None)
+    }
+
+    /// [`insert`](Self::insert) with an optional slot hint from a previous
+    /// command in the same batch (see [`DenseFile::apply_batch`]). The hint
+    /// is validated against the live counters before use, so the resolved
+    /// slot — and therefore the file's entire evolution — is bit-identical
+    /// to the unhinted path.
+    pub(crate) fn insert_hinted(
+        &mut self,
+        key: K,
+        value: V,
+        hint: Option<u32>,
+    ) -> Result<Option<V>, DsfError> {
         let pre = self.tel_pre();
         let snap = self.store.stats().snapshot();
         let slot = if self.is_empty() {
             self.cfg.slots / 2
         } else {
-            self.cal.find_slot(&key)
+            match hint {
+                Some(h) => self.cal.find_slot_hinted(&key, h),
+                None => self.cal.find_slot(&key),
+            }
         };
         // Begun before the search so the step-1 probe's page reads land in
         // the flight record's User phase; a replace or capacity refusal
@@ -283,12 +300,21 @@ impl<K: Key, V> DenseFile<K, V> {
 
     /// Deletes a key, returning its value if present.
     pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.remove_hinted(key, None)
+    }
+
+    /// [`remove`](Self::remove) with an optional validated slot hint (see
+    /// [`DenseFile::insert_hinted`]).
+    pub(crate) fn remove_hinted(&mut self, key: &K, hint: Option<u32>) -> Option<V> {
         if self.is_empty() {
             return None;
         }
         let pre = self.tel_pre();
         let snap = self.store.stats().snapshot();
-        let slot = self.cal.find_slot(key);
+        let slot = match hint {
+            Some(h) => self.cal.find_slot_hinted(key, h),
+            None => self.cal.find_slot(key),
+        };
         let flight = self.flight_begin(dsf_flight::CommandKind::Delete, slot);
         let old = match self.store.remove(slot, key) {
             Some(old) => old,

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod calibrator;
 mod config;
 mod control1;
@@ -62,6 +63,7 @@ pub mod stats;
 mod tel;
 pub mod trace;
 
+pub use batch::{Command, CommandOutcome};
 pub use calibrator::{Calibrator, NodeId};
 pub use config::{
     ceil_log2, AblationTweaks, Algorithm, ConfigError, DenseFileConfig, MacroBlocking,

@@ -55,6 +55,14 @@ pub(crate) struct CoreTel {
     /// [`DenseFile::refresh_telemetry_gauges`](crate::DenseFile::refresh_telemetry_gauges),
     /// not per command.
     pub balance_headroom: Arc<Gauge>,
+    /// `dsf_batch_commands` — commands submitted through
+    /// [`DenseFile::apply_batch`](crate::DenseFile::apply_batch) (a subset
+    /// of `dsf_commands_total`'s attempts; counted at batch entry, so
+    /// replaces/misses/rejections inside a batch are included).
+    pub batch_commands: Arc<Counter>,
+    /// `dsf_batch_size` — histogram of batch lengths per `apply_batch`
+    /// call.
+    pub batch_size: Arc<Histogram>,
     /// Monotonic *completed structural command* clock driving the
     /// 1-in-[`SPAN_SAMPLE_EVERY`] span sampling: peeked pre-command,
     /// advanced post-command, so replaces and misses (which bail out
@@ -102,6 +110,11 @@ pub(crate) fn tel() -> &'static CoreTel {
                 "dsf_balance_headroom_worst",
                 "1 - max p(v)/g(v,1): BALANCE headroom at the tightest node",
             ),
+            batch_commands: r.counter(
+                "dsf_batch_commands",
+                "commands submitted via apply_batch (incl. replaces/misses)",
+            ),
+            batch_size: r.histogram("dsf_batch_size", "commands per apply_batch call"),
             span_clock: AtomicU64::new(0),
         }
     })

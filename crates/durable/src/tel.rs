@@ -24,6 +24,11 @@ pub(crate) struct DurableTel {
     pub frames_replayed: Arc<Counter>,
     /// `dsf_checkpoints_total` — successful checkpoints.
     pub checkpoints: Arc<Counter>,
+    /// `dsf_wal_group_commit_frames` — frames per
+    /// [`DurableFile::apply_batch`](crate::DurableFile::apply_batch) group
+    /// commit (each observation is one batch; a batch of all-misses
+    /// observes 0).
+    pub group_commit_frames: Arc<Histogram>,
 }
 
 pub(crate) fn tel() -> &'static DurableTel {
@@ -46,6 +51,10 @@ pub(crate) fn tel() -> &'static DurableTel {
                 "WAL frames replayed during open",
             ),
             checkpoints: r.counter("dsf_checkpoints_total", "checkpoints completed"),
+            group_commit_frames: r.histogram(
+                "dsf_wal_group_commit_frames",
+                "WAL frames per apply_batch group commit",
+            ),
         }
     })
 }

@@ -5,7 +5,7 @@ use std::ops::Deref;
 use std::path::{Path, PathBuf};
 
 use dsf_core::snapshot::{fnv1a64, Codec, SnapshotError};
-use dsf_core::{DenseFile, DenseFileConfig, DsfError};
+use dsf_core::{Command, CommandOutcome, DenseFile, DenseFileConfig, DsfError};
 use dsf_pagestore::Key;
 
 use crate::vfs::{StdFs, Vfs, VfsFile};
@@ -113,8 +113,11 @@ fn frame_checksum(epoch: u64, body: &[u8]) -> u64 {
 /// can never survive on disk ahead of the in-memory state.
 struct WalWriter<W: VfsFile> {
     file: W,
-    /// Bytes of the frame being appended (always empty between commands).
+    /// Bytes of the frame(s) being appended (always empty between
+    /// commands; a group commit buffers one frame per batched command).
     pending: Vec<u8>,
+    /// Frames currently buffered in `pending`.
+    pending_frames: u64,
     /// File length up to which every byte is an acknowledged frame.
     written: u64,
     /// Set when a rollback itself failed: the file's tail is in an unknown
@@ -127,6 +130,7 @@ impl<W: VfsFile> WalWriter<W> {
         WalWriter {
             file,
             pending: Vec::new(),
+            pending_frames: 0,
             written,
             poisoned: false,
         }
@@ -134,24 +138,27 @@ impl<W: VfsFile> WalWriter<W> {
 
     fn append(&mut self, frame: &[u8]) {
         self.pending.extend_from_slice(frame);
+        self.pending_frames += 1;
     }
 
-    /// Writes the pending frame with one syscall. On failure the partially
-    /// written bytes are scrubbed with `set_len` back to the last
+    /// Writes every pending frame with one syscall. On failure the
+    /// partially written bytes are scrubbed with `set_len` back to the last
     /// acknowledged length.
     fn flush(&mut self) -> Result<(), DurableError> {
         if self.poisoned {
             self.pending.clear();
+            self.pending_frames = 0;
             return Err(DurableError::LogPoisoned);
         }
         if self.pending.is_empty() {
             return Ok(());
         }
+        let frames = std::mem::take(&mut self.pending_frames);
         match self.file.write_all(&self.pending) {
             Ok(()) => {
                 self.written += self.pending.len() as u64;
                 self.pending.clear();
-                crate::tel::tel().frames.inc();
+                crate::tel::tel().frames.add(frames);
                 Ok(())
             }
             Err(e) => {
@@ -413,6 +420,112 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             return Ok(Some(v));
         }
         Ok(None)
+    }
+
+    /// Applies a batch of commands with **group commit**: the batch
+    /// executes in memory through [`DenseFile::apply_batch`] while every
+    /// effective command's frame is buffered, then the whole run of frames
+    /// reaches the OS with a single `write` and — under
+    /// [`SyncPolicy::EveryCommand`] — a single `fsync`, instead of one of
+    /// each per command. Durability is all-or-nothing at the batch
+    /// boundary: on any flush or sync failure the log is scrubbed back to
+    /// the pre-batch watermark *and* every effective command is undone in
+    /// memory (reverse order), so memory and log stay in lock-step exactly
+    /// as in the single-command path.
+    ///
+    /// A crash mid-commit may leave any *prefix* of the batch's frames on
+    /// disk; recovery replays that prefix — never a torn or reordered
+    /// subset — which is the same contract an unacknowledged single
+    /// command already has (the batch was never acknowledged).
+    pub fn apply_batch(
+        &mut self,
+        cmds: &[Command<K, V>],
+    ) -> Result<Vec<CommandOutcome<V>>, DurableError> {
+        if self.log_poisoned() {
+            return Err(DurableError::LogPoisoned);
+        }
+        if cmds.is_empty() {
+            return Ok(Vec::new());
+        }
+        let epoch = self.epoch;
+        let policy = self.policy;
+        let log = self.log.as_mut().ok_or(DurableError::LogPoisoned)?;
+        let base = log.written;
+        let mut frames = 0u64;
+        let spans = dsf_telemetry::spans();
+        let mut span_tok = spans.push_token();
+        // In-memory application and frame buffering interleave so the
+        // flight recorder attributes each WAL frame to the command that
+        // produced it; no syscall happens until the group flush below.
+        let outcomes = self.file.apply_batch_with(cmds, |i, outcome| {
+            let body = match (&cmds[i], outcome) {
+                (Command::Insert(k, v), CommandOutcome::Inserted | CommandOutcome::Replaced(_)) => {
+                    let mut b = vec![OP_INSERT];
+                    k.encode(&mut b);
+                    v.encode(&mut b);
+                    b
+                }
+                (Command::Remove(k), CommandOutcome::Removed(_)) => {
+                    let mut b = vec![OP_REMOVE];
+                    k.encode(&mut b);
+                    b
+                }
+                // Misses and rejections log nothing (as in the
+                // single-command path); re-arm the span token so a later
+                // command cannot stamp this command's span.
+                _ => {
+                    span_tok = spans.push_token();
+                    return;
+                }
+            };
+            let mut frame = Vec::with_capacity(body.len() + 12);
+            (body.len() as u32).encode(&mut frame);
+            frame.extend_from_slice(&body);
+            frame_checksum(epoch, &body).encode(&mut frame);
+            log.append(&frame);
+            frames += 1;
+            dsf_flight::record_wal_frame(frame.len() as u64);
+            // Stamp the span this very command pushed (if it was sampled),
+            // then re-arm the token for the next command.
+            spans.amend_pushed_since(span_tok, |s| s.wal_frames += 1);
+            span_tok = spans.push_token();
+        });
+        // Group commit: one write for every buffered frame, at most one
+        // fsync for the whole batch.
+        let mut commit_err = log.flush().err();
+        if commit_err.is_none() && policy == SyncPolicy::EveryCommand && frames > 0 {
+            if let Err(e) = log.sync_data() {
+                log.rollback_to(base);
+                commit_err = Some(e);
+            }
+        }
+        if let Some(e) = commit_err {
+            // Prefix-consistent batch rollback: the log was scrubbed back
+            // to the pre-batch watermark, so undo every effective command
+            // in memory. Reverse order makes duplicate keys unwind
+            // correctly and keeps every intermediate step within the
+            // capacities the forward pass already fit in.
+            for (cmd, outcome) in cmds.iter().zip(&outcomes).rev() {
+                match (cmd, outcome) {
+                    (Command::Insert(k, _), CommandOutcome::Inserted) => {
+                        self.file.remove(k);
+                    }
+                    (Command::Insert(k, _), CommandOutcome::Replaced(old)) => {
+                        let _ = self.file.insert(*k, old.clone());
+                    }
+                    (Command::Remove(k), CommandOutcome::Removed(old)) => {
+                        let _ = self.file.insert(*k, old.clone());
+                    }
+                    _ => {}
+                }
+            }
+            return Err(e);
+        }
+        self.commands_since_checkpoint += frames;
+        if dsf_telemetry::enabled() {
+            crate::tel::tel().group_commit_frames.record(frames);
+        }
+        Ok(outcomes)
     }
 
     fn append(&mut self, body: &[u8]) -> Result<(), DurableError> {

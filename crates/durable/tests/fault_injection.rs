@@ -29,7 +29,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dsf_core::DenseFileConfig;
+use dsf_core::{Command, CommandOutcome, DenseFileConfig};
 use dsf_durable::{DurableError, DurableFile, FaultFs, FaultPlan, SyncPolicy, SyscallKind};
 
 const DIR: &str = "/db";
@@ -65,8 +65,30 @@ fn cfg() -> DenseFileConfig {
 enum Op {
     Insert(u64, u64),
     Remove(u64),
+    /// `apply_batch` group commit; the seed expands deterministically into
+    /// a small mixed command batch (see [`expand_batch`]).
+    Batch(u64),
     Sync,
     Checkpoint,
+}
+
+/// Expands a batch seed into 4–7 mixed commands over the same narrow key
+/// range as the rest of the trace, so duplicate keys, replaces, and
+/// hitting/missing removes all occur inside one group commit.
+fn expand_batch(bseed: u64) -> Vec<Command<u64, u64>> {
+    let mut rng = bseed ^ 0xba7c_ba7c_ba7c_ba7c;
+    let len = 4 + (splitmix(&mut rng) % 4) as usize;
+    (0..len)
+        .map(|_| {
+            let k = splitmix(&mut rng) % 40;
+            let v = splitmix(&mut rng) % 1_000;
+            if splitmix(&mut rng) % 3 < 2 {
+                Command::Insert(k, v)
+            } else {
+                Command::Remove(k)
+            }
+        })
+        .collect()
 }
 
 /// An acknowledged (or in-flight) structural command.
@@ -98,9 +120,10 @@ fn gen_trace(seed: u64, len: usize) -> Vec<Op> {
             let k = splitmix(&mut rng) % 40;
             let v = splitmix(&mut rng) % 1_000;
             match r {
-                0..=59 => Op::Insert(k, v),
-                60..=84 => Op::Remove(k),
-                85..=94 => Op::Sync,
+                0..=47 => Op::Insert(k, v),
+                48..=67 => Op::Remove(k),
+                68..=82 => Op::Batch(splitmix(&mut rng)),
+                83..=92 => Op::Sync,
                 _ => Op::Checkpoint,
             }
         })
@@ -113,9 +136,34 @@ struct RunOutcome {
     acked: Vec<Cmd>,
     /// Number of acked commands guaranteed durable (policy floor).
     floor: usize,
-    /// A command that errored out at the crash point: it was undone in
-    /// memory, but its log frame may or may not have reached disk.
-    in_flight: Option<Cmd>,
+    /// The effective commands of the operation that errored out at the
+    /// crash point, in frame order: they were undone in memory, but any
+    /// *prefix* of their log frames may have reached disk (one frame for a
+    /// single command, up to a whole group commit for `apply_batch` — a
+    /// torn batch must surface as a clean frame prefix, never a gap).
+    in_flight: Vec<Cmd>,
+}
+
+/// The commands of `cmds` that would append WAL frames when applied to a
+/// file currently holding `shadow`: inserts always (insert or replace),
+/// removes only when the key is present.
+fn effective_cmds(shadow: &BTreeMap<u64, u64>, cmds: &[Command<u64, u64>]) -> Vec<Cmd> {
+    let mut m = shadow.clone();
+    let mut out = Vec::new();
+    for c in cmds {
+        match c {
+            Command::Insert(k, v) => {
+                m.insert(*k, *v);
+                out.push(Cmd::Ins(*k, *v));
+            }
+            Command::Remove(k) => {
+                if m.remove(k).is_some() {
+                    out.push(Cmd::Rm(*k));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Runs `trace` until completion or the first crash-type error.
@@ -125,8 +173,11 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
         file: None,
         acked: Vec::new(),
         floor: 0,
-        in_flight: None,
+        in_flight: Vec::new(),
     };
+    // Mirrors the acked history, so a crashed batch's effective commands
+    // can be derived without touching the (possibly crashed) file.
+    let mut shadow: BTreeMap<u64, u64> = BTreeMap::new();
     let Ok(mut f) = DurableFile::<u64, u64, _>::create_with(fs.clone(), DIR, cfg(), policy) else {
         return out; // crashed during create: nothing was acknowledged
     };
@@ -135,6 +186,7 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
             Op::Insert(k, v) => match f.insert(k, v) {
                 Ok(_) => {
                     out.acked.push(Cmd::Ins(k, v));
+                    shadow.insert(k, v);
                     if every {
                         out.floor = out.acked.len();
                     }
@@ -142,7 +194,7 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                 Err(DurableError::File(_)) | Err(DurableError::LogPoisoned) => {}
                 Err(_) => {
                     if fs.crashed() {
-                        out.in_flight = Some(Cmd::Ins(k, v));
+                        out.in_flight = vec![Cmd::Ins(k, v)];
                         break;
                     }
                     // Transient failure: the command was undone and its
@@ -152,6 +204,7 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
             Op::Remove(k) => match f.remove(&k) {
                 Ok(Some(_)) => {
                     out.acked.push(Cmd::Rm(k));
+                    shadow.remove(&k);
                     if every {
                         out.floor = out.acked.len();
                     }
@@ -161,11 +214,46 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                     if fs.crashed() {
                         // remove only logs (and can only fail) when the
                         // key was present, so the in-flight command is real.
-                        out.in_flight = Some(Cmd::Rm(k));
+                        out.in_flight = vec![Cmd::Rm(k)];
                         break;
                     }
                 }
             },
+            Op::Batch(bseed) => {
+                let cmds = expand_batch(bseed);
+                match f.apply_batch(&cmds) {
+                    Ok(outcomes) => {
+                        for (c, o) in cmds.iter().zip(&outcomes) {
+                            let cmd = match (c, o) {
+                                (
+                                    Command::Insert(k, v),
+                                    CommandOutcome::Inserted | CommandOutcome::Replaced(_),
+                                ) => Cmd::Ins(*k, *v),
+                                (Command::Remove(k), CommandOutcome::Removed(_)) => Cmd::Rm(*k),
+                                _ => continue,
+                            };
+                            out.acked.push(cmd);
+                            apply_cmd(&mut shadow, cmd);
+                        }
+                        // Group commit: the whole batch fsyncs as one unit.
+                        if every {
+                            out.floor = out.acked.len();
+                        }
+                    }
+                    Err(DurableError::LogPoisoned) => {}
+                    Err(_) => {
+                        if fs.crashed() {
+                            // Any prefix of the batch's frames may have
+                            // reached disk before the crash.
+                            out.in_flight = effective_cmds(&shadow, &cmds);
+                            break;
+                        }
+                        // Transient: the group commit was rolled back whole
+                        // (log scrubbed to the pre-batch watermark, memory
+                        // undone); nothing was acknowledged.
+                    }
+                }
+            }
             Op::Sync => match f.sync() {
                 Ok(()) => out.floor = out.acked.len(),
                 Err(_) => {
@@ -213,7 +301,9 @@ fn check_recovery(fs: &FaultFs, policy: SyncPolicy, out: &RunOutcome) -> Result<
     let got: Vec<(u64, u64)> = g.iter().map(|(k, v)| (*k, *v)).collect();
 
     // The recovered state must be apply(acked[..p]) for some p in
-    // [floor, len], or that with the in-flight command appended.
+    // [floor, len], or apply(acked) extended by a clean *prefix* of the
+    // in-flight operation's frames (a torn group commit may land any
+    // number of its frames, but never a gap and never out of order).
     let mut model = BTreeMap::new();
     let mut matched = false;
     for p in 0..=out.acked.len() {
@@ -227,12 +317,13 @@ fn check_recovery(fs: &FaultFs, policy: SyncPolicy, out: &RunOutcome) -> Result<
                 break;
             }
             if p == out.acked.len() {
-                if let Some(c) = out.in_flight {
-                    let mut ext = model.clone();
-                    apply_cmd(&mut ext, c);
+                let mut ext = model.clone();
+                for c in &out.in_flight {
+                    apply_cmd(&mut ext, *c);
                     let want: Vec<(u64, u64)> = ext.iter().map(|(k, v)| (*k, *v)).collect();
                     if got == want {
                         matched = true;
+                        break;
                     }
                 }
             }
@@ -240,7 +331,8 @@ fn check_recovery(fs: &FaultFs, policy: SyncPolicy, out: &RunOutcome) -> Result<
     }
     if !matched {
         return Err(format!(
-            "recovered state is not a prefix: floor={} acked={} in_flight={:?} got {} records",
+            "recovered state is neither an acked prefix nor a clean in-flight frame prefix: \
+             floor={} acked={} in_flight={:?} got {} records",
             out.floor,
             out.acked.len(),
             out.in_flight,
@@ -269,7 +361,7 @@ fn check_recovery(fs: &FaultFs, policy: SyncPolicy, out: &RunOutcome) -> Result<
 fn dry_run(trace: &[Op], policy: SyncPolicy) -> u64 {
     let fs = FaultFs::new(FaultPlan::default());
     let out = execute(&fs, trace, policy);
-    assert!(out.in_flight.is_none(), "dry run must not fail");
+    assert!(out.in_flight.is_empty(), "dry run must not fail");
     fs.syscalls()
 }
 
@@ -462,7 +554,7 @@ fn eio_sweep(run_seed: u64) {
                     )
                 });
                 out.floor = out.acked.len();
-                out.in_flight = None;
+                out.in_flight.clear();
                 drop(out.file.take());
             }
             // (file == None: the EIO landed inside create() itself; the

@@ -202,6 +202,94 @@ impl<B: PageBackend> BufferPool<B> {
         self.table.get(&page).map_or(0, |&id| self.frames[id].pins)
     }
 
+    /// The batch pin hint: pins the `len` consecutive pages starting at
+    /// `start`, faulting missing stretches in with coalesced
+    /// [`PageBackend::read_run`] calls (the [`fetch_run`](Self::fetch_run)
+    /// discipline, but each page is pinned the moment it is resident, so a
+    /// later stretch's eviction can never displace an earlier page of the
+    /// same run). This is how a batched caller keeps the pages of its
+    /// sorted key span resident for a whole batch instead of letting the
+    /// LRU churn them mid-way; release with a matching
+    /// [`unpin_run`](Self::unpin_run).
+    ///
+    /// A run longer than the pool — or one that cannot fit beside the
+    /// frames already pinned — fails with [`io::ErrorKind::OutOfMemory`].
+    /// On any error the pages this call already pinned are unpinned again,
+    /// so a failed hint never leaks pins.
+    pub fn pin_run(&mut self, start: u64, len: u64) -> io::Result<()> {
+        if len as usize > self.capacity {
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                "pin_run longer than the buffer pool",
+            ));
+        }
+        self.trace.record_run(start, len, AccessKind::Read);
+        let page_size = self.backend.page_size();
+        let end = start + len;
+        let mut p = start;
+        let mut result = Ok(());
+        'runs: while p < end {
+            if let Some(&id) = self.table.get(&p) {
+                self.stats.accesses += 1;
+                self.stats.hits += 1;
+                tel().pool_hits.inc();
+                self.frames[id].pins += 1;
+                self.lru.unlink(id);
+                p += 1;
+                continue;
+            }
+            let miss_start = p;
+            while p < end && !self.table.contains_key(&p) {
+                p += 1;
+            }
+            let miss_len = (p - miss_start) as usize;
+            let mut buf = vec![0u8; miss_len * page_size];
+            if let Err(e) = self.backend.read_run(miss_start, &mut buf) {
+                result = Err(e);
+                p = miss_start;
+                break 'runs;
+            }
+            for (i, chunk) in buf.chunks_exact(page_size).enumerate() {
+                self.stats.accesses += 1;
+                self.stats.misses += 1;
+                match self.install(miss_start + i as u64, chunk) {
+                    Ok(id) => {
+                        self.frames[id].pins += 1;
+                        self.lru.unlink(id);
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        p = miss_start + i as u64;
+                        break 'runs;
+                    }
+                }
+            }
+            tel().pool_misses.add(miss_len as u64);
+            self.refresh_hit_ratio();
+        }
+        if let Err(e) = result {
+            // Roll the partial pin back: everything in [start, p) was
+            // pinned by this call and must not stay pinned on failure.
+            for q in start..p {
+                self.unpin(q);
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Releases one pin on each of the `len` pages starting at `start` —
+    /// the counterpart of [`pin_run`](Self::pin_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page of the run is not resident or not pinned.
+    pub fn unpin_run(&mut self, start: u64, len: u64) {
+        for page in start..start + len {
+            self.unpin(page);
+        }
+    }
+
     /// Faults the `len` consecutive pages starting at `start` into the pool
     /// in one fell swoop: resident stretches are hits, and each maximal
     /// stretch of missing pages is fetched with a **single**
@@ -692,6 +780,63 @@ mod tests {
     #[should_panic(expected = "unpin of a non-resident page")]
     fn unpin_of_absent_page_panics() {
         pool(2).unpin(9);
+    }
+
+    #[test]
+    fn pin_run_coalesces_reads_and_survives_pressure() {
+        let mut p = pool(8);
+        p.get(5).unwrap(); // 5 resident
+        let before = p.backend().read_calls;
+        p.pin_run(3, 6).unwrap(); // pages 3..9: misses 3-4 and 6-8, hit 5
+        assert_eq!(
+            p.backend().read_calls - before,
+            2,
+            "two miss stretches → two read_run calls"
+        );
+        for page in 3..9u64 {
+            assert_eq!(p.pin_count(page), 1);
+        }
+        // Churn the two free frames hard: no pinned page may be displaced.
+        for page in 100..120u64 {
+            p.get(page).unwrap();
+        }
+        for page in 3..9u64 {
+            assert!(p.contains(page), "pinned page {page} evicted mid-batch");
+        }
+        p.unpin_run(3, 6);
+        for page in 3..9u64 {
+            assert_eq!(p.pin_count(page), 0);
+        }
+        // After release the run ages out normally.
+        for page in 200..216u64 {
+            p.get(page).unwrap();
+        }
+        assert!(!p.contains(3));
+    }
+
+    #[test]
+    fn pin_run_longer_than_pool_is_an_error() {
+        let mut p = pool(4);
+        let err = p.pin_run(0, 5).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+        assert_eq!(p.resident_pages(), 0, "nothing faulted in on refusal");
+    }
+
+    #[test]
+    fn failed_pin_run_rolls_its_pins_back() {
+        let mut p = pool(4);
+        p.pin(100).unwrap();
+        p.pin(101).unwrap();
+        p.pin(102).unwrap();
+        // Room for one more frame only: the second page of the run cannot
+        // fit beside the pinned frames.
+        let err = p.pin_run(0, 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+        assert_eq!(p.pin_count(0), 0, "partial pin must be rolled back");
+        assert_eq!(p.pin_count(100), 1, "pre-existing pins untouched");
+        p.unpin(100);
+        p.unpin(101);
+        p.unpin(102);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!
 //! Run: `cargo run --release --example burst_ingest`
 
-use willard_dsf::{DenseFile, DenseFileConfig, DiskModel, OverflowFile};
+use willard_dsf::{
+    Command, DenseFile, DenseFileConfig, DiskModel, DurableFile, OverflowFile, SyncPolicy,
+};
 
 fn reading_key(sensor: u32, ts: u32) -> u64 {
     (u64::from(sensor) << 32) | u64::from(ts)
@@ -32,23 +34,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sensor 17 goes haywire: 4000 readings in one burst — while the other
     // 63 sensors keep reporting normally, so everyone's overflow pages
-    // interleave in the shared overflow area.
-    let mut worst = 0u64;
+    // interleave in the shared overflow area. The collector hands the
+    // archive whole batches of 64; `apply_batch` plans the batch's slot
+    // walks once but still pays (and bounds) every command individually.
+    let mut surge: Vec<Command<u64, i32>> = Vec::new();
     for t in 0..2900u32 {
         let k = reading_key(17, 3600 + t);
-        let snap = archive.io_stats().snapshot();
-        archive.insert(k, -1)?;
-        worst = worst.max(archive.io_stats().since(snap).accesses());
-        isam.insert(k, -1);
+        surge.push(Command::Insert(k, -1));
         if t % 2 == 0 {
             let other = reading_key((t / 2) % 64, 3600 + t);
             if other != k {
-                archive.insert(other, 0)?;
-                isam.insert(other, 0);
+                surge.push(Command::Insert(other, 0));
             }
         }
     }
-    println!("surge of 2900 readings into sensor 17 (plus background traffic):");
+    for batch in surge.chunks(64) {
+        for outcome in archive.apply_batch(batch) {
+            assert!(outcome.is_effective(), "fresh readings must land");
+        }
+        for cmd in batch {
+            if let Command::Insert(k, v) = cmd {
+                isam.insert(*k, *v);
+            }
+        }
+    }
+    let worst = archive.op_stats().max_accesses;
+    println!(
+        "surge of {} readings into sensor 17 (plus background traffic), batched 64 at a time:",
+        surge.len()
+    );
     println!(
         "  dense file worst insert: {worst} page accesses (J = {})",
         archive.config().j
@@ -98,5 +112,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("a reorganization must first reallocate to ≥ {needed} pages — the full");
     println!("O(M) rebuild the paper set out to avoid.");
+
+    // A crash-safe collector would also journal the surge. Per-reading
+    // fsyncs are what make `EveryCommand` unaffordable at burst rates;
+    // `apply_batch`'s group commit keeps the guarantee at 1/64th the cost.
+    // Measured live from the telemetry spine:
+    let reg = willard_dsf::telemetry::global();
+    reg.enable();
+    let fsyncs = reg.counter("dsf_wal_fsyncs_total", "WAL sync_data calls");
+    let scratch = std::env::temp_dir().join(format!("dsf-burst-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let sample = &surge[..512];
+    let durable_cfg = DenseFileConfig::control2(256, 8, 40);
+
+    let mut one: DurableFile<u64, i32> =
+        DurableFile::create(scratch.join("one"), durable_cfg, SyncPolicy::EveryCommand)?;
+    let before = fsyncs.get();
+    for cmd in sample {
+        if let Command::Insert(k, v) = cmd {
+            one.insert(*k, *v)?;
+        }
+    }
+    let one_fsyncs = fsyncs.get() - before;
+
+    let mut grouped: DurableFile<u64, i32> = DurableFile::create(
+        scratch.join("grouped"),
+        durable_cfg,
+        SyncPolicy::EveryCommand,
+    )?;
+    let before = fsyncs.get();
+    for batch in sample.chunks(64) {
+        grouped.apply_batch(batch)?;
+    }
+    let grouped_fsyncs = fsyncs.get() - before;
+    reg.disable();
+    assert!(
+        one.iter().eq(grouped.iter()),
+        "group commit changed nothing"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+
+    println!(
+        "\njournaling the first {} surge readings durably:",
+        sample.len()
+    );
+    println!("  one fsync per reading:  {one_fsyncs} fsyncs");
+    println!(
+        "  group commit (batch 64): {grouped_fsyncs} fsyncs ({:.0}× fewer, same acknowledged state)",
+        one_fsyncs as f64 / grouped_fsyncs as f64
+    );
     Ok(())
 }

@@ -914,6 +914,7 @@ fn bench_gate(args: &[String]) -> Result<String, String> {
     // (metric, higher-is-better). Only metrics present in BOTH files gate.
     const GATED: &[(&str, bool)] = &[
         ("io_call_ratio", true),
+        ("fsync_ratio", true),
         ("overhead_ratio", false),
         ("max_accesses", false),
     ];
@@ -945,8 +946,8 @@ fn bench_gate(args: &[String]) -> Result<String, String> {
     }
     if checked == 0 {
         return Err(format!(
-            "bench-gate: none of the gated metrics (io_call_ratio, overhead_ratio, max_accesses) \
-             appear in both `{baseline_path}` and `{candidate_path}`"
+            "bench-gate: none of the gated metrics (io_call_ratio, fsync_ratio, overhead_ratio, \
+             max_accesses) appear in both `{baseline_path}` and `{candidate_path}`"
         ));
     }
     if let Some(rp) = flag(args, "--report") {

@@ -55,7 +55,8 @@ pub use dsf_baselines::{AmortizedPma, NaiveSequentialFile, OverflowFile, PmaConf
 pub use dsf_btree::{BPlusTree, BTreeConfig};
 pub use dsf_concurrent::ShardedFile;
 pub use dsf_core::{
-    Algorithm, DenseFile, DenseFileConfig, DsfError, InvariantViolation, MacroBlocking,
+    Algorithm, Command, CommandOutcome, DenseFile, DenseFileConfig, DsfError, InvariantViolation,
+    MacroBlocking,
 };
 pub use dsf_durable::{DurableFile, SyncPolicy};
 pub use dsf_pagestore::{disk::DiskModel, IoStats, Record};

@@ -7,7 +7,7 @@
 //! isolation we need).
 
 use willard_dsf::telemetry;
-use willard_dsf::{DenseFile, DenseFileConfig};
+use willard_dsf::{Command, DenseFile, DenseFileConfig, DurableFile, SyncPolicy};
 
 #[test]
 fn global_spine_mirrors_op_stats_and_exports_valid_prometheus() {
@@ -91,4 +91,60 @@ fn global_spine_mirrors_op_stats_and_exports_valid_prometheus() {
         "dsf_command_page_accesses_max {}",
         stats.max_accesses
     )));
+
+    // ----- batch pipeline metrics reconcile exactly -----
+    reg.enable();
+    let mut bf: DenseFile<u64, u64> = DenseFile::new(DenseFileConfig::control2(64, 6, 8)).unwrap();
+    let batches: Vec<Vec<Command<u64, u64>>> = (0..5u64)
+        .map(|b| {
+            (0..(8 + b * 4))
+                .map(|i| {
+                    if i % 7 == 6 {
+                        Command::Remove(b * 1000 + i - 1)
+                    } else {
+                        Command::Insert(b * 1000 + i, i)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let submitted: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    for b in &batches {
+        bf.apply_batch(b);
+    }
+
+    // Group commit: a durable file fed the same batches must observe one
+    // `dsf_wal_group_commit_frames` entry per batch, whose sum is exactly
+    // the number of effective (frame-producing) commands.
+    let dir = std::env::temp_dir().join(format!("dsf-tel-reconcile-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut df: DurableFile<u64, u64> = DurableFile::create(
+        &dir,
+        DenseFileConfig::control2(64, 6, 8),
+        SyncPolicy::EveryCommand,
+    )
+    .unwrap();
+    let mut effective = 0u64;
+    for b in &batches {
+        effective += df
+            .apply_batch(b)
+            .unwrap()
+            .iter()
+            .filter(|o| o.is_effective())
+            .count() as u64;
+    }
+    reg.disable();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let batch_cmds = reg.counter("dsf_batch_commands", "");
+    assert_eq!(batch_cmds.get(), 2 * submitted, "dsf_batch_commands");
+    let batch_size = reg.histogram("dsf_batch_size", "");
+    assert_eq!(batch_size.count(), 2 * batches.len() as u64);
+    assert_eq!(batch_size.sum(), 2 * submitted);
+    let gc = reg.histogram("dsf_wal_group_commit_frames", "");
+    assert_eq!(gc.count(), batches.len() as u64, "one entry per batch");
+    assert_eq!(gc.sum(), effective, "frames == effective commands");
+    // Every group commit paid exactly one fsync under EveryCommand.
+    let fsyncs = reg.counter("dsf_wal_fsyncs_total", "");
+    assert_eq!(fsyncs.get(), batches.len() as u64);
 }
