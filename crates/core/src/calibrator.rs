@@ -430,7 +430,20 @@ impl<K: Key> Calibrator<K> {
         if self.count(leaf) == 0 || self.min_key(leaf).is_none_or(|m| m > *key) {
             return false;
         }
-        match self.next_nonempty(hint + 1, self.slots - 1) {
+        // This check is the batch pipeline's hot path: it must cost less
+        // than the root descent it replaces. Density keeps the successor
+        // within a few slots almost always, so probe linearly before
+        // falling back to the counter-tree scan.
+        let hi = self.slots - 1;
+        let mut s = hint + 1;
+        while s <= hi.min(hint + 8) {
+            let l = self.leaf_of(s);
+            if self.count(l) != 0 {
+                return self.min_key(l).is_some_and(|m| m > *key);
+            }
+            s += 1;
+        }
+        match self.next_nonempty(s, hi) {
             None => true,
             Some(s) => self.min_key(self.leaf_of(s)).is_some_and(|m| m > *key),
         }

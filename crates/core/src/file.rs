@@ -232,20 +232,21 @@ impl<K: Key, V> DenseFile<K, V> {
     /// [`DsfError::CapacityExceeded`] if the file already holds
     /// `N = d·M` records and `key` is not present.
     pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>, DsfError> {
-        self.insert_hinted(key, value, None)
+        self.insert_hinted(key, value, None).map(|(old, _)| old)
     }
 
     /// [`insert`](Self::insert) with an optional slot hint from a previous
     /// command in the same batch (see [`DenseFile::apply_batch`]). The hint
     /// is validated against the live counters before use, so the resolved
     /// slot — and therefore the file's entire evolution — is bit-identical
-    /// to the unhinted path.
+    /// to the unhinted path. Returns the resolved slot alongside the old
+    /// value so the batch loop can chain it into the next command's hint.
     pub(crate) fn insert_hinted(
         &mut self,
         key: K,
         value: V,
         hint: Option<u32>,
-    ) -> Result<Option<V>, DsfError> {
+    ) -> Result<(Option<V>, u32), DsfError> {
         let pre = self.tel_pre();
         let snap = self.store.stats().snapshot();
         let slot = if self.is_empty() {
@@ -265,7 +266,7 @@ impl<K: Key, V> DenseFile<K, V> {
                 if flight.is_some() {
                     dsf_flight::cancel_command();
                 }
-                Ok(Some(self.store.replace_at(slot, idx, value)))
+                Ok((Some(self.store.replace_at(slot, idx, value)), slot))
             }
             Err(idx) => {
                 if self.cal.total() >= self.capacity() {
@@ -293,21 +294,22 @@ impl<K: Key, V> DenseFile<K, V> {
                 if let Some(pre) = pre {
                     self.tel_post(pre, CommandKind::Insert, slot, accesses);
                 }
-                Ok(None)
+                Ok((None, slot))
             }
         }
     }
 
     /// Deletes a key, returning its value if present.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        self.remove_hinted(key, None)
+        self.remove_hinted(key, None).0
     }
 
     /// [`remove`](Self::remove) with an optional validated slot hint (see
-    /// [`DenseFile::insert_hinted`]).
-    pub(crate) fn remove_hinted(&mut self, key: &K, hint: Option<u32>) -> Option<V> {
+    /// [`DenseFile::insert_hinted`]). The second element is the resolved
+    /// slot (`None` only when the file was empty and no search ran).
+    pub(crate) fn remove_hinted(&mut self, key: &K, hint: Option<u32>) -> (Option<V>, Option<u32>) {
         if self.is_empty() {
-            return None;
+            return (None, None);
         }
         let pre = self.tel_pre();
         let snap = self.store.stats().snapshot();
@@ -322,7 +324,7 @@ impl<K: Key, V> DenseFile<K, V> {
                 if flight.is_some() {
                     dsf_flight::cancel_command();
                 }
-                return None;
+                return (None, Some(slot));
             }
         };
         self.emit(|| StepEvent::CommandBegin {
@@ -341,7 +343,7 @@ impl<K: Key, V> DenseFile<K, V> {
         if let Some(pre) = pre {
             self.tel_post(pre, CommandKind::Delete, slot, accesses);
         }
-        Some(old)
+        (Some(old), Some(slot))
     }
 
     // ------------------------------------------------------------------

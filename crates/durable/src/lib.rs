@@ -21,7 +21,12 @@
 //!
 //! Group-commit policy is the caller's choice: [`SyncPolicy::EveryCommand`]
 //! fsyncs per command, [`SyncPolicy::Manual`] leaves syncing to explicit
-//! [`DurableFile::sync`] calls (and the OS).
+//! [`DurableFile::sync`] calls (and the OS), and
+//! [`SyncPolicy::CommitWindow`] buffers frames into a timed, size-bounded
+//! group-commit window — one `write` + one `fsync` per window, with
+//! per-command [`Durability`] choosing whether the call waits for that
+//! fsync (`Strict`, the default) or returns as soon as its frame is
+//! buffered (`Relaxed`, tracked by [`DurableFile::durable_lsn`]).
 //!
 //! Every filesystem effect of the WAL path goes through the [`vfs::Vfs`]
 //! trait. Production code uses [`vfs::StdFs`] (the real filesystem); the
@@ -45,4 +50,4 @@ mod wal;
 
 pub use physical::{ImageHeader, IoReport, PhysicalImage};
 pub use vfs::{FaultFs, FaultPlan, StdFs, SyscallKind, Vfs, VfsFile};
-pub use wal::{DurableError, DurableFile, SyncPolicy};
+pub use wal::{Durability, DurableError, DurableFile, SyncPolicy};

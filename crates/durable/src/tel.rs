@@ -29,6 +29,15 @@ pub(crate) struct DurableTel {
     /// commit (each observation is one batch; a batch of all-misses
     /// observes 0).
     pub group_commit_frames: Arc<Histogram>,
+    /// `dsf_commit_window_fsyncs` — commit windows closed with a
+    /// successful fsync under [`SyncPolicy::CommitWindow`]
+    /// (crate::SyncPolicy::CommitWindow); each one made every command
+    /// buffered in that window durable at once.
+    pub commit_window_fsyncs: Arc<Counter>,
+    /// `dsf_commit_window_frames` — frames made durable per closed commit
+    /// window (the group-commit fan-in; higher means fewer fsyncs per
+    /// command).
+    pub commit_window_frames: Arc<Histogram>,
 }
 
 pub(crate) fn tel() -> &'static DurableTel {
@@ -54,6 +63,14 @@ pub(crate) fn tel() -> &'static DurableTel {
             group_commit_frames: r.histogram(
                 "dsf_wal_group_commit_frames",
                 "WAL frames per apply_batch group commit",
+            ),
+            commit_window_fsyncs: r.counter(
+                "dsf_commit_window_fsyncs",
+                "commit windows closed with a successful fsync",
+            ),
+            commit_window_frames: r.histogram(
+                "dsf_commit_window_frames",
+                "WAL frames made durable per closed commit window",
             ),
         }
     })

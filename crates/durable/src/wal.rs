@@ -35,6 +35,43 @@ pub enum SyncPolicy {
     /// calls; a crash may lose the unsynced suffix of commands (never
     /// consistency).
     Manual,
+    /// Timed, size-bounded **group commit**: command frames buffer in an
+    /// open *commit window* (no syscall per command) and the whole window
+    /// is written and fsynced at once when it holds `max_frames` frames,
+    /// when it has been open for `max_micros` microseconds (checked at
+    /// command boundaries — this is a single-threaded engine, there is no
+    /// timer thread), at the next [`Durability::Strict`] command, or at an
+    /// explicit [`DurableFile::sync`] / [`DurableFile::checkpoint`] /
+    /// [`DurableFile::close_window`].
+    ///
+    /// A [`Durability::Relaxed`] command returns *before* its window's
+    /// fsync and is durable only once
+    /// [`DurableFile::durable_lsn`] reaches its LSN; a crash (process or
+    /// power) loses the open window, and a failed window commit undoes
+    /// every command the window held — memory rewinds to the durable
+    /// watermark, exactly the state recovery would reconstruct.
+    CommitWindow {
+        /// Close the window once it buffers this many frames.
+        max_frames: u32,
+        /// Close the window at the first command boundary at least this
+        /// many microseconds after the window opened.
+        max_micros: u64,
+    },
+}
+
+/// How durable a structural command must be when its call returns, under
+/// [`SyncPolicy::CommitWindow`] (the other policies ignore this and behave
+/// as they always have).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Durable on acknowledgement: the command closes the open window
+    /// (one write + one fsync covering every frame buffered so far), so
+    /// the relaxed commands queued before it share its fsync.
+    #[default]
+    Strict,
+    /// Acknowledged once the frame is buffered in the open window; durable
+    /// when the window closes. Track with [`DurableFile::durable_lsn`].
+    Relaxed,
 }
 
 /// Errors from the durability layer.
@@ -242,6 +279,33 @@ pub struct DurableFile<K, V, F: Vfs = StdFs> {
     policy: SyncPolicy,
     commands_since_checkpoint: u64,
     epoch: u64,
+    /// Frames buffered in the currently open commit window (0 = closed).
+    window_frames: u64,
+    /// When the open window's first frame was buffered (drives the
+    /// `max_micros` trigger; `None` while closed).
+    window_opened: Option<std::time::Instant>,
+    /// How to rewind each windowed command in memory if the window's
+    /// commit fails — commands acknowledged `Relaxed` were never durably
+    /// acknowledged, so a failed fsync takes them all back.
+    window_undo: Vec<UndoRec<K, V>>,
+    /// LSN of the last structural command accepted into the log (the
+    /// in-memory state is always at this LSN). Session-local: resets at
+    /// open.
+    appended_lsn: u64,
+    /// LSN through which commands are on stable storage; always
+    /// `<= appended_lsn`, equal except under an open commit window or
+    /// unsynced `Manual` appends.
+    durable_lsn: u64,
+}
+
+/// How to undo one windowed command in memory if its window commit fails.
+enum UndoRec<K, V> {
+    /// A fresh insert: undo by removing the key.
+    Insert(K),
+    /// A replacement: undo by restoring the old value.
+    Replace(K, V),
+    /// A removal: undo by re-inserting the old value.
+    Remove(K, V),
 }
 
 impl<K, V, F: Vfs> Deref for DurableFile<K, V, F> {
@@ -297,6 +361,11 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             policy,
             commands_since_checkpoint: 0,
             epoch: 0,
+            window_frames: 0,
+            window_opened: None,
+            window_undo: Vec::new(),
+            appended_lsn: 0,
+            durable_lsn: 0,
         })
     }
 
@@ -366,12 +435,33 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             policy,
             commands_since_checkpoint: replayed,
             epoch,
+            window_frames: 0,
+            window_opened: None,
+            window_undo: Vec::new(),
+            appended_lsn: 0,
+            durable_lsn: 0,
         })
     }
 
-    /// Inserts a record durably (logged before the call returns). Returns
-    /// the previous value on replacement.
+    /// Inserts a record durably (logged — and, except under an open commit
+    /// window, fsynced per the policy — before the call returns). Returns
+    /// the previous value on replacement. Equivalent to
+    /// [`insert_with`](Self::insert_with) at [`Durability::Strict`].
     pub fn insert(&mut self, key: K, value: V) -> Result<Option<V>, DurableError> {
+        self.insert_with(key, value, Durability::Strict)
+    }
+
+    /// [`insert`](Self::insert) with an explicit [`Durability`]. Under
+    /// [`SyncPolicy::CommitWindow`], `Relaxed` returns once the frame is
+    /// buffered in the open window (durable at the window's fsync; watch
+    /// [`durable_lsn`](Self::durable_lsn)); `Strict` closes the window
+    /// before returning. Other policies ignore the durability.
+    pub fn insert_with(
+        &mut self,
+        key: K,
+        value: V,
+        durability: Durability,
+    ) -> Result<Option<V>, DurableError> {
         if self.log_poisoned() {
             return Err(DurableError::LogPoisoned);
         }
@@ -382,6 +472,20 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         let mut body = vec![OP_INSERT];
         key.encode(&mut body);
         value.encode(&mut body);
+        if self.windowed() {
+            let undo = match &old {
+                Some(v) => UndoRec::Replace(key, v.clone()),
+                None => UndoRec::Insert(key),
+            };
+            self.window_append(&body, undo);
+            // Spans are sampled 1-in-N inside `DenseFile`; stamp the WAL
+            // frame only onto a span this very command pushed.
+            dsf_telemetry::spans().amend_pushed_since(span_tok, |s| s.wal_frames += 1);
+            // A failed window close has already undone this command (with
+            // the rest of the window): the error is the acknowledgement.
+            self.maybe_close_window(durability)?;
+            return Ok(old);
+        }
         if let Err(e) = self.append(&body) {
             // Keep memory and log in lock-step: undo the in-memory command
             // so the failed append does not leave memory ahead of the log.
@@ -395,14 +499,25 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             }
             return Err(e);
         }
-        // Spans are sampled 1-in-N inside `DenseFile`; stamp the WAL frame
-        // only onto a span this very command pushed, never an older one's.
+        // See above: only a span this very command pushed is stamped.
         dsf_telemetry::spans().amend_pushed_since(span_tok, |s| s.wal_frames += 1);
         Ok(old)
     }
 
     /// Deletes a key durably. A miss changes nothing and logs nothing.
+    /// Equivalent to [`remove_with`](Self::remove_with) at
+    /// [`Durability::Strict`].
     pub fn remove(&mut self, key: &K) -> Result<Option<V>, DurableError> {
+        self.remove_with(key, Durability::Strict)
+    }
+
+    /// [`remove`](Self::remove) with an explicit [`Durability`] — see
+    /// [`insert_with`](Self::insert_with).
+    pub fn remove_with(
+        &mut self,
+        key: &K,
+        durability: Durability,
+    ) -> Result<Option<V>, DurableError> {
         if self.log_poisoned() {
             return Err(DurableError::LogPoisoned);
         }
@@ -411,11 +526,18 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         if let Some(v) = old {
             let mut body = vec![OP_REMOVE];
             key.encode(&mut body);
+            if self.windowed() {
+                self.window_append(&body, UndoRec::Remove(*key, v.clone()));
+                dsf_telemetry::spans().amend_pushed_since(span_tok, |s| s.wal_frames += 1);
+                self.maybe_close_window(durability)?;
+                return Ok(Some(v));
+            }
             if let Err(e) = self.append(&body) {
                 let _ = self.file.insert(*key, v);
                 return Err(e);
             }
-            // See `insert`: only a span pushed by this command is stamped.
+            // See `insert_with`: only a span pushed by this command is
+            // stamped.
             dsf_telemetry::spans().amend_pushed_since(span_tok, |s| s.wal_frames += 1);
             return Ok(Some(v));
         }
@@ -440,6 +562,20 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
     pub fn apply_batch(
         &mut self,
         cmds: &[Command<K, V>],
+    ) -> Result<Vec<CommandOutcome<V>>, DurableError> {
+        self.apply_batch_durable(cmds, Durability::Strict)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) with an explicit [`Durability`].
+    /// Under [`SyncPolicy::CommitWindow`], `Relaxed` buffers the batch's
+    /// frames into the open window and returns before any syscall; the
+    /// batch is durable when the window closes. `Strict` closes the window
+    /// (batch frames and any relaxed commands waiting before them) before
+    /// returning.
+    pub fn apply_batch_durable(
+        &mut self,
+        cmds: &[Command<K, V>],
+        durability: Durability,
     ) -> Result<Vec<CommandOutcome<V>>, DurableError> {
         if self.log_poisoned() {
             return Err(DurableError::LogPoisoned);
@@ -490,6 +626,36 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             spans.amend_pushed_since(span_tok, |s| s.wal_frames += 1);
             span_tok = spans.push_token();
         });
+        if matches!(policy, SyncPolicy::CommitWindow { .. }) {
+            // The frames are already buffered in the log's pending window
+            // (the observer above appended them); arm the undo records and
+            // let the window triggers decide when the syscalls happen. A
+            // failed close undoes the whole window — this batch included —
+            // via those records, so no rollback is needed here.
+            for (cmd, outcome) in cmds.iter().zip(&outcomes) {
+                let undo = match (cmd, outcome) {
+                    (Command::Insert(k, _), CommandOutcome::Inserted) => UndoRec::Insert(*k),
+                    (Command::Insert(k, _), CommandOutcome::Replaced(old)) => {
+                        UndoRec::Replace(*k, old.clone())
+                    }
+                    (Command::Remove(k), CommandOutcome::Removed(old)) => {
+                        UndoRec::Remove(*k, old.clone())
+                    }
+                    _ => continue,
+                };
+                self.window_undo.push(undo);
+            }
+            if frames > 0 && self.window_frames == 0 {
+                self.window_opened = Some(std::time::Instant::now());
+            }
+            self.window_frames += frames;
+            self.appended_lsn += frames;
+            if dsf_telemetry::enabled() {
+                crate::tel::tel().group_commit_frames.record(frames);
+            }
+            self.maybe_close_window(durability)?;
+            return Ok(outcomes);
+        }
         // Group commit: one write for every buffered frame, at most one
         // fsync for the whole batch.
         let mut commit_err = log.flush().err();
@@ -522,10 +688,121 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             return Err(e);
         }
         self.commands_since_checkpoint += frames;
+        self.appended_lsn += frames;
+        if policy == SyncPolicy::EveryCommand {
+            self.durable_lsn = self.appended_lsn;
+        }
         if dsf_telemetry::enabled() {
             crate::tel::tel().group_commit_frames.record(frames);
         }
         Ok(outcomes)
+    }
+
+    /// Whether the policy buffers commands into a commit window.
+    fn windowed(&self) -> bool {
+        matches!(self.policy, SyncPolicy::CommitWindow { .. })
+    }
+
+    /// Buffers one frame into the open commit window — no syscall — and
+    /// arms the undo record replayed if the window's commit later fails.
+    fn window_append(&mut self, body: &[u8], undo: UndoRec<K, V>) {
+        let epoch = self.epoch;
+        let log = self
+            .log
+            .as_mut()
+            .expect("callers check log_poisoned() first");
+        let mut frame = Vec::with_capacity(body.len() + 12);
+        (body.len() as u32).encode(&mut frame);
+        frame.extend_from_slice(body);
+        frame_checksum(epoch, body).encode(&mut frame);
+        log.append(&frame);
+        dsf_flight::record_wal_frame(frame.len() as u64);
+        if self.window_frames == 0 {
+            self.window_opened = Some(std::time::Instant::now());
+        }
+        self.window_frames += 1;
+        self.appended_lsn += 1;
+        self.window_undo.push(undo);
+    }
+
+    /// Closes the window if the command's durability or the policy's size
+    /// or age trigger demands it.
+    fn maybe_close_window(&mut self, durability: Durability) -> Result<(), DurableError> {
+        let SyncPolicy::CommitWindow {
+            max_frames,
+            max_micros,
+        } = self.policy
+        else {
+            return Ok(());
+        };
+        let over_size = self.window_frames >= u64::from(max_frames);
+        let over_age = self
+            .window_opened
+            .is_some_and(|t| t.elapsed().as_micros() >= u128::from(max_micros));
+        if durability == Durability::Strict || over_size || over_age {
+            self.close_window()?;
+        }
+        Ok(())
+    }
+
+    /// Commits the open window: every buffered frame reaches the OS with
+    /// one `write` and stable storage with one `fsync`, after which every
+    /// windowed command is durable ([`durable_lsn`](Self::durable_lsn)
+    /// catches up to [`appended_lsn`](Self::appended_lsn)). A closed
+    /// window is a no-op.
+    ///
+    /// On failure the log is scrubbed back to the durable watermark and
+    /// **every command the window held is undone in memory** — relaxed
+    /// commands were acknowledged but never durably so, and this rewinds
+    /// the engine to exactly the state crash recovery would reconstruct.
+    pub fn close_window(&mut self) -> Result<(), DurableError> {
+        if self.window_frames == 0 {
+            self.window_opened = None;
+            return Ok(());
+        }
+        let frames = self.window_frames;
+        let log = self.log.as_mut().ok_or(DurableError::LogPoisoned)?;
+        let base = log.written;
+        let mut commit_err = log.flush().err();
+        if commit_err.is_none() {
+            if let Err(e) = log.sync_data() {
+                log.rollback_to(base);
+                commit_err = Some(e);
+            }
+        }
+        // The window is spent either way.
+        self.window_frames = 0;
+        self.window_opened = None;
+        let undo = std::mem::take(&mut self.window_undo);
+        match commit_err {
+            None => {
+                self.commands_since_checkpoint += frames;
+                self.durable_lsn = self.appended_lsn;
+                if dsf_telemetry::enabled() {
+                    let t = crate::tel::tel();
+                    t.commit_window_fsyncs.inc();
+                    t.commit_window_frames.record(frames);
+                }
+                Ok(())
+            }
+            Some(e) => {
+                // Reverse order unwinds duplicate keys correctly and keeps
+                // every intermediate step within capacities the forward
+                // pass already fit in.
+                for rec in undo.into_iter().rev() {
+                    match rec {
+                        UndoRec::Insert(k) => {
+                            self.file.remove(&k);
+                        }
+                        UndoRec::Replace(k, v) | UndoRec::Remove(k, v) => {
+                            let _ = self.file.insert(k, v);
+                        }
+                    }
+                }
+                self.appended_lsn = self.durable_lsn;
+                Err(e)
+            }
+        }
     }
 
     fn append(&mut self, body: &[u8]) -> Result<(), DurableError> {
@@ -552,6 +829,10 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
             }
         }
         self.commands_since_checkpoint += 1;
+        self.appended_lsn += 1;
+        if policy == SyncPolicy::EveryCommand {
+            self.durable_lsn = self.appended_lsn;
+        }
         // The flight frame lands on the just-ended command's seq (flight
         // records every command, unsampled). Span stamping is the caller's
         // job: only it knows whether this command pushed a span.
@@ -559,11 +840,17 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         Ok(())
     }
 
-    /// Forces the log to stable storage.
+    /// Forces the log to stable storage (closing the commit window first
+    /// if one is open, with its usual failure semantics).
     pub fn sync(&mut self) -> Result<(), DurableError> {
+        if self.window_frames > 0 {
+            return self.close_window();
+        }
         let log = self.log.as_mut().ok_or(DurableError::LogPoisoned)?;
         log.flush()?;
-        log.sync_data()
+        log.sync_data()?;
+        self.durable_lsn = self.appended_lsn;
+        Ok(())
     }
 
     /// Writes a fresh checkpoint atomically and starts a new log epoch.
@@ -581,6 +868,12 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
     /// discard) until a `checkpoint` retry succeeds. This call is the
     /// retry: it is safe and meaningful to call again after any failure.
     pub fn checkpoint(&mut self) -> Result<(), DurableError> {
+        // The checkpoint snapshots the in-memory state, which includes any
+        // windowed (not yet durable) commands — commit them first so the
+        // snapshot never outruns the log it supersedes. On failure the
+        // window's undo has already rewound memory; nothing is poisoned
+        // and the checkpoint simply did not happen.
+        self.close_window()?;
         let new_epoch = self.epoch + 1;
         if let Err(fail) = write_checkpoint(&self.fs, &self.dir, &self.file, new_epoch) {
             return match fail {
@@ -596,6 +889,9 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
                 self.log = Some(log);
                 self.epoch = new_epoch;
                 self.commands_since_checkpoint = 0;
+                // Everything in memory is durable via the checkpoint, even
+                // commands whose frames were never individually fsynced.
+                self.durable_lsn = self.appended_lsn;
                 crate::tel::tel().checkpoints.inc();
                 Ok(())
             }
@@ -618,6 +914,26 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
     /// The current checkpoint epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// LSN of the last structural command accepted into the log — the
+    /// in-memory state is always at this LSN. Session-local (resets to 0
+    /// at `create`/`open`); one effective command = one LSN.
+    pub fn appended_lsn(&self) -> u64 {
+        self.appended_lsn
+    }
+
+    /// LSN through which commands are durable on stable storage. A
+    /// [`Durability::Relaxed`] command with LSN `n` must not be treated as
+    /// durable until `durable_lsn() >= n` — its window's fsync is what
+    /// moves this watermark.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn
+    }
+
+    /// Frames buffered in the currently open commit window (0 = closed).
+    pub fn window_frames(&self) -> u64 {
+        self.window_frames
     }
 
     /// Structural commands logged since the last checkpoint (after `open`,

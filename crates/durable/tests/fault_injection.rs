@@ -30,10 +30,20 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dsf_core::{Command, CommandOutcome, DenseFileConfig};
-use dsf_durable::{DurableError, DurableFile, FaultFs, FaultPlan, SyncPolicy, SyscallKind};
+use dsf_durable::{
+    Durability, DurableError, DurableFile, FaultFs, FaultPlan, SyncPolicy, SyscallKind,
+};
 
 const DIR: &str = "/db";
 const DEFAULT_SEED: u64 = 0xd5f_c4a5;
+
+/// The commit-window policy under sweep: close every 4 frames, and make
+/// the age trigger unreachable so the syscall schedule is deterministic
+/// (faults are counted in syscalls; a wall-clock trigger would move them).
+const WINDOW: SyncPolicy = SyncPolicy::CommitWindow {
+    max_frames: 4,
+    max_micros: u64::MAX,
+};
 
 fn seed() -> u64 {
     std::env::var("DSF_FAULT_SEED")
@@ -166,9 +176,39 @@ fn effective_cmds(shadow: &BTreeMap<u64, u64>, cmds: &[Command<u64, u64>]) -> Ve
     out
 }
 
+/// A failed commit-window close revokes the `Relaxed` acks buffered in
+/// that window: the file rewound them from memory and scrubbed their
+/// frames, so the model must forget them too. `durable_lsn` counts the
+/// effective commands made durable, which is exactly the surviving prefix
+/// of `acked`.
+fn retract_revoked(
+    out: &mut RunOutcome,
+    shadow: &mut BTreeMap<u64, u64>,
+    f: &DurableFile<u64, u64, FaultFs>,
+) {
+    let durable = f.durable_lsn() as usize;
+    if out.acked.len() > durable {
+        out.acked.truncate(durable);
+        shadow.clear();
+        for &c in out.acked.iter() {
+            apply_cmd(shadow, c);
+        }
+        out.floor = out.floor.min(durable);
+    }
+}
+
 /// Runs `trace` until completion or the first crash-type error.
 fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
     let every = policy == SyncPolicy::EveryCommand;
+    let windowed = matches!(policy, SyncPolicy::CommitWindow { .. });
+    // Under CommitWindow the trace issues `Relaxed` commands: each acks as
+    // soon as its frame is buffered, and durability arrives (or the ack is
+    // revoked) at the window close — the adversarial case for the sweep.
+    let durability = if windowed {
+        Durability::Relaxed
+    } else {
+        Durability::Strict
+    };
     let mut out = RunOutcome {
         file: None,
         acked: Vec::new(),
@@ -183,12 +223,16 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
     };
     for &op in trace {
         match op {
-            Op::Insert(k, v) => match f.insert(k, v) {
+            Op::Insert(k, v) => match f.insert_with(k, v, durability) {
                 Ok(_) => {
                     out.acked.push(Cmd::Ins(k, v));
                     shadow.insert(k, v);
                     if every {
                         out.floor = out.acked.len();
+                    } else if windowed {
+                        // A size-triggered auto-close silently advances
+                        // durability for everything buffered so far.
+                        out.floor = f.durable_lsn() as usize;
                     }
                 }
                 Err(DurableError::File(_)) | Err(DurableError::LogPoisoned) => {}
@@ -199,14 +243,21 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                     }
                     // Transient failure: the command was undone and its
                     // frame scrubbed; the prefix check holds us to that.
+                    // A failed window close also revoked the window's
+                    // earlier Relaxed acks.
+                    if windowed {
+                        retract_revoked(&mut out, &mut shadow, &f);
+                    }
                 }
             },
-            Op::Remove(k) => match f.remove(&k) {
+            Op::Remove(k) => match f.remove_with(&k, durability) {
                 Ok(Some(_)) => {
                     out.acked.push(Cmd::Rm(k));
                     shadow.remove(&k);
                     if every {
                         out.floor = out.acked.len();
+                    } else if windowed {
+                        out.floor = f.durable_lsn() as usize;
                     }
                 }
                 Ok(None) | Err(DurableError::LogPoisoned) => {}
@@ -217,11 +268,14 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                         out.in_flight = vec![Cmd::Rm(k)];
                         break;
                     }
+                    if windowed {
+                        retract_revoked(&mut out, &mut shadow, &f);
+                    }
                 }
             },
             Op::Batch(bseed) => {
                 let cmds = expand_batch(bseed);
-                match f.apply_batch(&cmds) {
+                match f.apply_batch_durable(&cmds, durability) {
                     Ok(outcomes) => {
                         for (c, o) in cmds.iter().zip(&outcomes) {
                             let cmd = match (c, o) {
@@ -238,6 +292,8 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                         // Group commit: the whole batch fsyncs as one unit.
                         if every {
                             out.floor = out.acked.len();
+                        } else if windowed {
+                            out.floor = f.durable_lsn() as usize;
                         }
                     }
                     Err(DurableError::LogPoisoned) => {}
@@ -250,7 +306,11 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                         }
                         // Transient: the group commit was rolled back whole
                         // (log scrubbed to the pre-batch watermark, memory
-                        // undone); nothing was acknowledged.
+                        // undone); nothing was acknowledged — and a failed
+                        // window close revoked the window's Relaxed acks.
+                        if windowed {
+                            retract_revoked(&mut out, &mut shadow, &f);
+                        }
                     }
                 }
             }
@@ -259,6 +319,11 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                 Err(_) => {
                     if fs.crashed() {
                         break;
+                    }
+                    // Under CommitWindow, sync closes the window; a failed
+                    // close revoked its Relaxed acks.
+                    if windowed {
+                        retract_revoked(&mut out, &mut shadow, &f);
                     }
                 }
             },
@@ -270,7 +335,12 @@ fn execute(fs: &FaultFs, trace: &[Op], policy: SyncPolicy) -> RunOutcome {
                     }
                     // A non-crash checkpoint failure may have poisoned the
                     // log; later commands turn into LogPoisoned no-ops
-                    // until a retry succeeds.
+                    // until a retry succeeds. Under CommitWindow the
+                    // checkpoint closes the window first, so a failure may
+                    // also have revoked the window's Relaxed acks.
+                    if windowed {
+                        retract_revoked(&mut out, &mut shadow, &f);
+                    }
                 }
             },
         }
@@ -390,6 +460,9 @@ fn trace_len(policy: SyncPolicy) -> usize {
     match policy {
         SyncPolicy::EveryCommand => 48,
         SyncPolicy::Manual => 96,
+        // A window closes every 4 frames (one write + one fsync), so the
+        // syscall density sits between the other two policies.
+        SyncPolicy::CommitWindow { .. } => 96,
     }
 }
 
@@ -471,6 +544,33 @@ fn crash_sweep_manual_policy() {
     }
 }
 
+#[test]
+fn crash_sweep_commit_window_policy() {
+    for s in pinned_seeds("crash_sweep_commit_window_policy")
+        .into_iter()
+        .chain([seed()])
+    {
+        let (points, kinds) = crash_sweep("commit-window", WINDOW, s);
+        if stride() == 1 {
+            assert!(points >= 70, "only {points} crash points explored");
+            // Closes fire at size triggers, Sync ops and checkpoints, so
+            // crashes must land inside the window's write/fsync pair and
+            // inside the checkpoint rename path.
+            for k in [
+                SyscallKind::Write,
+                SyscallKind::SyncData,
+                SyscallKind::Rename,
+                SyscallKind::SyncDir,
+            ] {
+                assert!(
+                    kinds.contains(&k),
+                    "no crash point landed on {k:?}: {kinds:?}"
+                );
+            }
+        }
+    }
+}
+
 /// The double fault: a transient `EIO` immediately followed by a crash on
 /// the *next* syscall — which is often the rollback/scrub path itself, the
 /// hardest place to get right.
@@ -485,7 +585,7 @@ fn double_fault_eio_then_crash_sweep() {
 }
 
 fn double_fault_sweep(run_seed: u64) {
-    for policy in [SyncPolicy::EveryCommand, SyncPolicy::Manual] {
+    for policy in [SyncPolicy::EveryCommand, SyncPolicy::Manual, WINDOW] {
         let trace = gen_trace(run_seed, trace_len(policy));
         let total = dry_run(&trace, policy);
         let mut n = 1;
@@ -523,7 +623,7 @@ fn transient_eio_sweep_requires_exact_state() {
 }
 
 fn eio_sweep(run_seed: u64) {
-    for policy in [SyncPolicy::EveryCommand, SyncPolicy::Manual] {
+    for policy in [SyncPolicy::EveryCommand, SyncPolicy::Manual, WINDOW] {
         let trace = gen_trace(run_seed, trace_len(policy));
         let total = dry_run(&trace, policy);
         let mut n = 1;
@@ -565,6 +665,65 @@ fn eio_sweep(run_seed: u64) {
             n += stride();
         }
     }
+}
+
+/// A `Relaxed` command must never be reported durable before its window's
+/// fsync — and must actually be lost by a power cut that beats the close.
+/// (Three closes: a Strict piggyback, the size trigger, an explicit sync.)
+#[test]
+fn relaxed_acks_are_not_durable_until_the_window_closes() {
+    let fs = FaultFs::new(FaultPlan::default());
+    let mut f = DurableFile::<u64, u64, _>::create_with(fs.clone(), DIR, cfg(), WINDOW).unwrap();
+    f.insert_with(1, 10, Durability::Relaxed).unwrap();
+    f.insert_with(2, 20, Durability::Relaxed).unwrap();
+    assert_eq!(f.window_frames(), 2, "window must still be open");
+    assert_eq!(f.appended_lsn(), 2);
+    assert_eq!(
+        f.durable_lsn(),
+        0,
+        "Relaxed acks reported durable before the window's fsync"
+    );
+    // Power-cut with the window open: neither command may survive.
+    drop(f);
+    fs.power_cycle();
+    let mut g = DurableFile::<u64, u64, _>::open_with(fs.clone(), DIR, WINDOW).unwrap();
+    assert_eq!(
+        g.iter().count(),
+        0,
+        "un-fsynced window survived a power cut"
+    );
+
+    // Same two commands, but a Strict command arrives in the same window:
+    // its close makes the earlier Relaxed acks durable along with it.
+    g.insert_with(1, 10, Durability::Relaxed).unwrap();
+    g.insert_with(2, 20, Durability::Relaxed).unwrap();
+    assert_eq!(g.durable_lsn(), 0);
+    g.insert_with(3, 30, Durability::Strict).unwrap();
+    assert_eq!(g.window_frames(), 0, "Strict must close the window");
+    assert_eq!(g.durable_lsn(), g.appended_lsn());
+    drop(g);
+    fs.power_cycle();
+    let mut h = DurableFile::<u64, u64, _>::open_with(fs.clone(), DIR, WINDOW).unwrap();
+    assert_eq!(h.iter().count(), 3, "closed window lost by a power cut");
+
+    // The size trigger closes by itself at `max_frames` Relaxed commands.
+    for i in 0..4u64 {
+        h.insert_with(100 + i, i, Durability::Relaxed).unwrap();
+    }
+    assert_eq!(
+        h.window_frames(),
+        0,
+        "size trigger did not close the window"
+    );
+    assert_eq!(h.durable_lsn(), h.appended_lsn());
+    drop(h);
+    fs.power_cycle();
+    let j = DurableFile::<u64, u64, _>::open_with(fs.clone(), DIR, WINDOW).unwrap();
+    assert_eq!(
+        j.iter().count(),
+        7,
+        "size-triggered close lost by a power cut"
+    );
 }
 
 /// The headline number for the acceptance criterion: the two WAL sweeps

@@ -229,6 +229,17 @@ pub enum FlightEvent {
         /// Record count of every slot in address order.
         counts: Vec<u64>,
     },
+    /// `dsf-pagestore` wrote back dirty pages in the background on behalf
+    /// of the command that dirtied them. Recorded with an explicit seq
+    /// (never the recording thread's current command): writeback happens on
+    /// scheduler worker threads, long after — and far away from — the
+    /// command it belongs to.
+    Writeback {
+        /// The command whose write dirtied the pages.
+        seq: u64,
+        /// Pages written back.
+        pages: u64,
+    },
 }
 
 const TAG_COMMAND_BEGIN: u8 = 0;
@@ -243,6 +254,7 @@ const TAG_WAL_FRAME: u8 = 8;
 const TAG_FSYNC: u8 = 9;
 const TAG_LOCK_WAIT: u8 = 10;
 const TAG_MOMENT: u8 = 11;
+const TAG_WRITEBACK: u8 = 12;
 
 /// Appends `v` as a LEB128 varint.
 pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -290,7 +302,8 @@ impl FlightEvent {
             | FlightEvent::WalFrame { seq, .. }
             | FlightEvent::Fsync { seq, .. }
             | FlightEvent::LockWait { seq, .. }
-            | FlightEvent::Moment { seq, .. } => seq,
+            | FlightEvent::Moment { seq, .. }
+            | FlightEvent::Writeback { seq, .. } => seq,
         }
     }
 
@@ -397,6 +410,11 @@ impl FlightEvent {
                     put_varint(&mut payload, c);
                 }
             }
+            FlightEvent::Writeback { seq, pages } => {
+                payload.push(TAG_WRITEBACK);
+                put_varint(&mut payload, *seq);
+                put_varint(&mut payload, *pages);
+            }
         }
         put_varint(out, payload.len() as u64);
         out.extend_from_slice(&payload);
@@ -479,6 +497,10 @@ impl FlightEvent {
                     counts,
                 }
             }
+            TAG_WRITEBACK => FlightEvent::Writeback {
+                seq: v()?,
+                pages: v()?,
+            },
             _ => return None,
         };
         Some(ev)
@@ -584,6 +606,7 @@ mod tests {
                 shard: 2,
                 micros: 9,
             },
+            FlightEvent::Writeback { seq: 1, pages: 4 },
             FlightEvent::Moment {
                 seq: 1,
                 moment: 0,

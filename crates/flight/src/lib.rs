@@ -334,6 +334,31 @@ pub fn record_fsync(micros: u64) {
     record_under_current(|seq| FlightEvent::Fsync { seq, micros });
 }
 
+/// The command seq currently (or most recently) executing on this thread;
+/// 0 while disabled or before any command ran. The buffer pool reads this
+/// when a command dirties a frame, so a later *background* writeback — on
+/// a scheduler worker thread whose own thread-local seq is always 0 — can
+/// still be attributed to the command that caused it.
+#[inline]
+pub fn current_seq() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    CURRENT.with(|c| c.get())
+}
+
+/// Records `pages` of background writeback on behalf of `seq` — the
+/// command that dirtied the pages, captured at dirty time via
+/// [`current_seq`]. Takes the seq explicitly because writeback completes
+/// on a worker thread, outside any command. Skipped for `seq == 0`
+/// (pages dirtied outside a recorded command carry no attribution).
+pub fn record_writeback(seq: u64, pages: u64) {
+    if !enabled() || seq == 0 || pages == 0 {
+        return;
+    }
+    globals().ring.push(&FlightEvent::Writeback { seq, pages });
+}
+
 /// Records a shard write-lock wait for the *upcoming* command (the seq
 /// parked by [`prepare_command`]).
 pub fn record_lock_wait(shard: u64, micros: u64) {

@@ -89,6 +89,12 @@ pub struct CommandCost {
     pub wal_frames: u64,
     /// WAL bytes appended.
     pub wal_bytes: u64,
+    /// Dirty pages written back in the background on this command's
+    /// behalf (charged by the I/O scheduler when the writeback completes,
+    /// possibly long after the command ended). Tracked beside the
+    /// foreground `phase_pages` — background writeback is deferred work,
+    /// not part of the per-command access total `reconciles()` checks.
+    pub writeback_pages: u64,
     /// fsync time charged, microseconds.
     pub fsync_micros: u64,
     /// Shard-lock wait before the command, microseconds.
@@ -121,6 +127,7 @@ impl CommandCost {
             flags_lowered: 0,
             wal_frames: 0,
             wal_bytes: 0,
+            writeback_pages: 0,
             fsync_micros: 0,
             lock_wait_micros: 0,
             moments: Vec::new(),
@@ -290,6 +297,9 @@ impl Attribution {
                 FlightEvent::Moment {
                     moment, counts, ..
                 } => c.moments.push((*moment, counts.clone())),
+                FlightEvent::Writeback { pages, .. } => {
+                    c.writeback_pages = c.writeback_pages.saturating_add(*pages)
+                }
             }
         }
         let mut commands = Vec::with_capacity(by_seq.len());
@@ -323,6 +333,13 @@ impl Attribution {
         self.commands
             .iter()
             .fold(0u64, |a, c| a.saturating_add(c.accesses))
+    }
+
+    /// Sum of background writeback pages attributed across commands.
+    pub fn total_writeback_pages(&self) -> u64 {
+        self.commands
+            .iter()
+            .fold(0u64, |a, c| a.saturating_add(c.writeback_pages))
     }
 
     /// The largest per-command access total.

@@ -44,6 +44,7 @@ pub mod fault;
 mod lru;
 pub mod pool;
 mod record;
+pub mod sched;
 mod stats;
 mod store;
 mod tel;
@@ -54,6 +55,7 @@ pub use coalesce::{coalesce, PageRun, RunCoalescer};
 pub use fault::{CrashSummary, FaultBackend};
 pub use pool::{BufferPool, MemBackend, PageBackend, PoolStats};
 pub use record::{Key, Record};
+pub use sched::AsyncBackend;
 pub use stats::{IoDelta, IoSnapshot, IoStats};
 pub use store::{End, PagedStore, SlotId, StoreConfig, StoreError};
 pub use trace::{AccessEvent, AccessKind, TraceBuffer};

@@ -31,6 +31,13 @@ pub(crate) struct PagestoreTel {
     pub run_len: Arc<Histogram>,
     /// `dsf_pool_hit_ratio` — hits/accesses, refreshed on the miss path.
     pub hit_ratio: Arc<Gauge>,
+    /// `dsf_io_queue_depth` — write requests accepted by the I/O scheduler
+    /// and not yet completed (queued + executing), refreshed on every
+    /// submit/complete transition.
+    pub io_queue_depth: Arc<Gauge>,
+    /// `dsf_writeback_pages` — pages written back to the inner backend by
+    /// scheduler workers (completed background write requests).
+    pub writeback_pages: Arc<Counter>,
 }
 
 pub(crate) fn tel() -> &'static PagestoreTel {
@@ -60,6 +67,14 @@ pub(crate) fn tel() -> &'static PagestoreTel {
             hit_ratio: r.gauge(
                 "dsf_pool_hit_ratio",
                 "buffer pool hit ratio (hits / accesses), refreshed on misses",
+            ),
+            io_queue_depth: r.gauge(
+                "dsf_io_queue_depth",
+                "I/O scheduler write requests accepted and not yet completed",
+            ),
+            writeback_pages: r.counter(
+                "dsf_writeback_pages",
+                "pages written back by I/O scheduler workers",
             ),
         }
     })

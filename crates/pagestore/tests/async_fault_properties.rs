@@ -1,0 +1,183 @@
+//! Crash-point sweep over the **asynchronous** writeback path.
+//!
+//! The same versioned workload and durable-image oracle as
+//! `fault_properties.rs`, but the pool now writes through an
+//! [`AsyncBackend`] — dirty-page writeback happens on a scheduler worker
+//! thread, and injected faults fire *inside* background writeback instead
+//! of on the command path. One worker keeps the backend-call order
+//! deterministic (writes execute in submission order; reads and syncs are
+//! drain barriers), so the crash point sweeps the identical call schedule
+//! the synchronous sweep covers.
+//!
+//! The contract under test: moving writeback off the command path changes
+//! *when* errors surface (at the next barrier, not at the dirtying access)
+//! but not *what* survives a crash — fsynced rounds persist, unsynced
+//! pages may drop or tear, and nothing interleaves or resurrects.
+
+use dsf_pagestore::{AsyncBackend, BufferPool, FaultBackend, MemBackend, PageBackend};
+
+const PAGE_SIZE: usize = 32;
+const PAGES: u64 = 16;
+const POOL_CAP: usize = 6;
+const ROUNDS: u8 = 3;
+const QUEUE_CAP: usize = 8;
+
+/// The bytes of `page` at `version` — every byte index differs between any
+/// two versions, so durable pages decode byte-by-byte. (Same pattern as the
+/// synchronous sweep; the oracle must not change when the engine does.)
+fn pattern(page: u64, version: u8) -> Vec<u8> {
+    (0..PAGE_SIZE)
+        .map(|i| {
+            (version.wrapping_mul(61))
+                .wrapping_add((page as u8).wrapping_mul(31))
+                .wrapping_add((i as u8).wrapping_mul(13))
+                .wrapping_add(7)
+        })
+        .collect()
+}
+
+fn decode_versions(page: u64, bytes: &[u8]) -> Vec<u8> {
+    bytes
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            (0..=ROUNDS)
+                .find(|&v| pattern(page, v)[i] == b)
+                .unwrap_or_else(|| panic!("page {page} byte {i} = {b:#x} matches no version"))
+        })
+        .collect()
+}
+
+type AsyncPool = BufferPool<AsyncBackend<FaultBackend<MemBackend>>>;
+
+fn fresh_pool(seed: u64, crash_at: Option<u64>) -> AsyncPool {
+    let mut mem = MemBackend::new(PAGE_SIZE);
+    for p in 0..PAGES {
+        mem.write_run(p, &pattern(p, 0)).unwrap();
+    }
+    let mut fb = FaultBackend::new(mem, seed);
+    fb.set_crash_at(crash_at);
+    // ONE worker: background writes execute strictly in submission order,
+    // so the FaultBackend call counter indexes the same schedule on every
+    // run and the sweep is deterministic.
+    let backend = AsyncBackend::new(fb, 1, QUEUE_CAP);
+    let mut pool = BufferPool::new(backend, POOL_CAP);
+    pool.set_coalescing(false);
+    pool
+}
+
+/// Runs the versioned workload until completion or the first surfaced
+/// error. With the async engine, enqueueing a writeback always succeeds;
+/// failures surface at the next barrier — the explicit post-flush `drain`
+/// or the fsync — which is exactly where the durability accounting reads
+/// them. Returns the last round whose fsync was acknowledged.
+fn run_workload(pool: &mut AsyncPool) -> u8 {
+    let mut synced_round = 0u8;
+    'rounds: for round in 1..=ROUNDS {
+        for p in 0..PAGES {
+            let Ok(frame) = pool.get_mut(p) else {
+                break 'rounds;
+            };
+            frame.copy_from_slice(&pattern(p, round));
+        }
+        if pool.flush_all().is_err() || pool.backend().drain().is_err() {
+            break;
+        }
+        match pool.backend().with_inner(|fb| fb.sync()) {
+            Ok(Ok(())) => synced_round = round,
+            _ => break,
+        }
+    }
+    synced_round
+}
+
+fn check_page(page: u64, bytes: &[u8], synced_round: u8, crash_at: u64) {
+    let versions = decode_versions(page, bytes);
+    for w in versions.windows(2) {
+        assert!(
+            w[0] >= w[1],
+            "crash@{crash_at} page {page}: version went up left-to-right ({versions:?}) — \
+             interleaved old-over-new write"
+        );
+    }
+    let min = *versions.iter().min().unwrap();
+    assert!(
+        min >= synced_round,
+        "crash@{crash_at} page {page}: byte older than the last acknowledged fsync \
+         (round {synced_round}, saw version {min}) — durability violated"
+    );
+}
+
+#[test]
+fn crash_sweep_inside_background_writeback_never_loses_synced_data() {
+    let seed: u64 = std::env::var("DSF_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xa5c1_5afe);
+
+    // Dry run: count the backend calls the workload makes through the
+    // scheduler (the barriers make this deterministic with one worker).
+    let mut dry = fresh_pool(seed, None);
+    let synced = run_workload(&mut dry);
+    assert_eq!(synced, ROUNDS, "dry run must complete");
+    let total_calls = dry
+        .into_backend_lossy()
+        .with_inner(|fb| fb.calls())
+        .expect("dry run drains clean");
+    assert!(
+        total_calls >= 60,
+        "workload too small to be a meaningful sweep: {total_calls} backend calls"
+    );
+
+    let mut crash_points = 0u64;
+    for n in 1..=total_calls {
+        let mut pool = fresh_pool(seed ^ n, Some(n));
+        let synced_round = run_workload(&mut pool);
+        // The process dies: queued-but-unwritten requests vanish with the
+        // dirty frames, exactly like the synchronous pool's lossy teardown.
+        let mut fb = pool.into_backend_lossy().into_inner_lossy();
+        assert!(fb.crashed(), "crash point {n} never fired");
+        fb.power_cycle().unwrap();
+        crash_points += 1;
+
+        // Recovery sees only the durable layer, through a synchronous pool.
+        let mut recovered = BufferPool::new(fb, POOL_CAP);
+        for p in 0..PAGES {
+            let bytes = recovered.get(p).unwrap().to_vec();
+            check_page(p, &bytes, synced_round, n);
+        }
+    }
+    assert!(
+        crash_points >= 60,
+        "swept only {crash_points} crash points on the background writeback path"
+    );
+}
+
+#[test]
+fn transient_eio_inside_background_writeback_is_retryable_and_lossless() {
+    let mut pool = fresh_pool(0x0e10_a51c, None);
+    for p in 0..PAGES {
+        pool.get_mut(p).unwrap().copy_from_slice(&pattern(p, 1));
+    }
+    // Fault the 3rd backend call from now — a background flush writeback.
+    let at = pool.backend().with_inner(|fb| fb.calls()).unwrap() + 3;
+    pool.backend()
+        .with_inner(|fb| fb.set_eio_at(vec![at]))
+        .unwrap();
+    // Enqueueing never fails; the EIO surfaces at the drain barrier...
+    pool.flush_all().unwrap();
+    let err = pool.backend().drain();
+    assert!(err.is_err(), "injected EIO must surface at the barrier");
+    // ...which re-queued the failed request: the next barrier retries it.
+    pool.backend().drain().expect("retry must succeed");
+    pool.backend()
+        .with_inner(|fb| fb.sync())
+        .unwrap()
+        .expect("sync after retried EIO");
+    let mut fb = pool.into_backend_lossy().into_inner_lossy();
+    for p in 0..PAGES {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        fb.read_durable(p, &mut buf).unwrap();
+        assert_eq!(buf, pattern(p, 1), "page {p} lost by a retried EIO");
+    }
+}

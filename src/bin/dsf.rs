@@ -76,7 +76,8 @@ usage:
       worst-K table + causal trace of the arg-max command; --seq adds the
       Figure-4-style per-moment table for one command
   dsf bench-gate <baseline.json> <candidate.json> [--threshold T] [--report path]
-      fails (exit 1) when io_call_ratio / overhead_ratio / max_accesses regress > T (default 0.15)";
+      fails (exit 1) when a gated metric (io/fsync/wall ratios, p99_speedup,
+      overhead_ratio, max_accesses) regresses > T (default 0.15)";
 
 fn run(args: &[String]) -> Result<String, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -917,6 +918,14 @@ fn bench_gate(args: &[String]) -> Result<String, String> {
         ("fsync_ratio", true),
         ("overhead_ratio", false),
         ("max_accesses", false),
+        // Wall-clock ratios (sequential ms / batched ms): the batch
+        // pipeline must stay cheaper in CPU terms, not just in syscalls.
+        ("pool_wall_ratio", true),
+        ("core_wall_ratio", true),
+        ("wal_wall_ratio", true),
+        // E16 async engine: durable-ingest p99 speedup of the commit
+        // window over fsync-per-command at equal durability-on-ack.
+        ("p99_speedup", true),
     ];
     let mut report = format!(
         "bench-gate: `{candidate_path}` vs baseline `{baseline_path}` (threshold {:.0}%)\n",
@@ -947,7 +956,8 @@ fn bench_gate(args: &[String]) -> Result<String, String> {
     if checked == 0 {
         return Err(format!(
             "bench-gate: none of the gated metrics (io_call_ratio, fsync_ratio, overhead_ratio, \
-             max_accesses) appear in both `{baseline_path}` and `{candidate_path}`"
+             max_accesses, pool_wall_ratio, core_wall_ratio, wal_wall_ratio, p99_speedup) appear \
+             in both `{baseline_path}` and `{candidate_path}`"
         ));
     }
     if let Some(rp) = flag(args, "--report") {

@@ -58,5 +58,5 @@ pub use dsf_core::{
     Algorithm, Command, CommandOutcome, DenseFile, DenseFileConfig, DsfError, InvariantViolation,
     MacroBlocking,
 };
-pub use dsf_durable::{DurableFile, SyncPolicy};
+pub use dsf_durable::{Durability, DurableFile, SyncPolicy};
 pub use dsf_pagestore::{disk::DiskModel, IoStats, Record};

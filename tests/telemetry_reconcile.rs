@@ -6,8 +6,9 @@
 //! the spine (cargo gives each `tests/*.rs` its own binary, which is the
 //! isolation we need).
 
+use willard_dsf::pagestore::{AsyncBackend, BufferPool, MemBackend};
 use willard_dsf::telemetry;
-use willard_dsf::{Command, DenseFile, DenseFileConfig, DurableFile, SyncPolicy};
+use willard_dsf::{Command, DenseFile, DenseFileConfig, Durability, DurableFile, SyncPolicy};
 
 #[test]
 fn global_spine_mirrors_op_stats_and_exports_valid_prometheus() {
@@ -147,4 +148,58 @@ fn global_spine_mirrors_op_stats_and_exports_valid_prometheus() {
     // Every group commit paid exactly one fsync under EveryCommand.
     let fsyncs = reg.counter("dsf_wal_fsyncs_total", "");
     assert_eq!(fsyncs.get(), batches.len() as u64);
+
+    // ----- async I/O engine metrics reconcile exactly -----
+    // Every backend page write goes through the scheduler's workers, so
+    // `dsf_writeback_pages` must equal the inner backend's page-write
+    // count, and after a drain the queue-depth gauge must read zero.
+    reg.enable();
+    let mut pool = BufferPool::new(AsyncBackend::new(MemBackend::new(64), 2, 8), 4);
+    for p in 0..12u64 {
+        pool.get_mut(p).unwrap()[0] = p as u8; // cap 4: evictions write back
+    }
+    pool.flush_all().unwrap();
+    pool.backend().drain().unwrap();
+    let mem = pool
+        .into_backend()
+        .and_then(AsyncBackend::into_inner)
+        .unwrap();
+    reg.disable();
+    let depth = reg.gauge("dsf_io_queue_depth", "");
+    assert_eq!(depth.get(), 0.0, "queue depth after drain");
+    let wb = reg.counter("dsf_writeback_pages", "");
+    assert!(wb.get() > 0, "workload produced no background writeback");
+    assert_eq!(wb.get(), mem.pages_written, "dsf_writeback_pages");
+
+    // ----- commit-window metrics reconcile exactly -----
+    // 10 Relaxed inserts under max_frames=4: size triggers close at 4 and
+    // 8, the explicit sync closes the 2-frame remainder — three window
+    // fsyncs covering every effective command exactly once.
+    reg.enable();
+    let wdir = std::env::temp_dir().join(format!("dsf-tel-window-{}", std::process::id()));
+    std::fs::remove_dir_all(&wdir).ok();
+    let mut wf: DurableFile<u64, u64> = DurableFile::create(
+        &wdir,
+        DenseFileConfig::control2(64, 6, 8),
+        SyncPolicy::CommitWindow {
+            max_frames: 4,
+            max_micros: u64::MAX,
+        },
+    )
+    .unwrap();
+    for i in 0..10u64 {
+        wf.insert_with(i * 31, i, Durability::Relaxed).unwrap();
+    }
+    wf.sync().unwrap();
+    reg.disable();
+    std::fs::remove_dir_all(&wdir).ok();
+    let wfsyncs = reg.counter("dsf_commit_window_fsyncs", "");
+    assert_eq!(wfsyncs.get(), 3, "dsf_commit_window_fsyncs");
+    let wframes = reg.histogram("dsf_commit_window_frames", "");
+    assert_eq!(wframes.count(), 3, "one observation per closed window");
+    assert_eq!(
+        wframes.sum(),
+        10,
+        "every frame durable in exactly one window"
+    );
 }
