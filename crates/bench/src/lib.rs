@@ -541,6 +541,75 @@ pub fn hammer_setup(file: &mut DenseFile<u64, u64>) -> Vec<u64> {
     dsf_workloads::hammer(room, 5 << 32, 1)
 }
 
+// ---------------------------------------------------------------------
+// Scenario replay (E17).
+// ---------------------------------------------------------------------
+
+/// The [`dsf_workloads::Geometry`] a scenario generator needs, extracted
+/// from a resolved dense-file configuration so the pure generators agree
+/// exactly with the calibrator the file will run.
+pub fn scenario_geometry(rc: &dsf_core::ResolvedConfig) -> dsf_workloads::Geometry {
+    dsf_workloads::Geometry {
+        slots: u64::from(rc.slots),
+        slot_min: rc.slot_min,
+        slot_max: rc.slot_max,
+        log_slots: rc.log_slots,
+    }
+}
+
+/// Per-op-kind cost profiles of a replayed scenario stream.
+#[derive(Debug, Clone, Default)]
+pub struct OpsProfile {
+    /// Structural commands (inserts + removes).
+    pub updates: CostProfile,
+    /// Stream-retrieval requests.
+    pub scans: CostProfile,
+    /// Point lookups replayed.
+    pub gets: u64,
+    /// Inserts the structure refused (capacity); always 0 for in-plan
+    /// scenario streams.
+    pub refused: u64,
+}
+
+/// Replays a full [`dsf_workloads::Op`] stream against a driver, measuring
+/// page accesses per operation, split by kind.
+pub fn replay_ops<D: Driver + ?Sized>(d: &mut D, ops: &[dsf_workloads::Op]) -> OpsProfile {
+    use dsf_workloads::Op;
+    let mut updates: Vec<u64> = Vec::new();
+    let mut scans: Vec<u64> = Vec::new();
+    let mut gets = 0u64;
+    let mut refused = 0u64;
+    for op in ops {
+        let snap = d.snapshot();
+        match *op {
+            Op::Insert(k) => {
+                if !d.insert(k) {
+                    refused += 1;
+                }
+                updates.push(d.since(snap));
+            }
+            Op::Remove(k) => {
+                d.remove(k);
+                updates.push(d.since(snap));
+            }
+            Op::Get(k) => {
+                d.get(k);
+                gets += 1;
+            }
+            Op::Scan { start, limit } => {
+                d.scan(start, limit);
+                scans.push(d.since(snap));
+            }
+        }
+    }
+    OpsProfile {
+        updates: summarize(&mut updates),
+        scans: summarize(&mut scans),
+        gets,
+        refused,
+    }
+}
+
 /// Formats a float with a sensible width for tables.
 pub fn f(x: f64) -> String {
     if x >= 100.0 {

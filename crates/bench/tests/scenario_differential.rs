@@ -1,0 +1,144 @@
+//! Differential oracle: every E17 scenario stream must produce *identical
+//! observable behavior* on the dense file and on every baseline structure.
+//!
+//! The head-to-head phase of `exp_scenario_matrix` is only meaningful if
+//! the structures agree on what the stream does — otherwise a "faster"
+//! structure may simply be dropping work. Here each scenario replays
+//! through all five drivers while recording the per-op outcome sequence
+//! (insert accepted?, remove hit?, get hit?, scan count), and the traces
+//! must match op-for-op, along with final record counts and point-lookup
+//! agreement over every touched key.
+//!
+//! A second test pins the `Geometry::threshold_records` integer math of
+//! `dsf-workloads` (which must stay dependency-free) against
+//! `Calibrator::records_until_ge` in `dsf-core` — the adversarial
+//! generator's density argument is only sound if the two agree exactly.
+
+use dsf_bench::{
+    scenario_geometry, BTreeDriver, DenseDriver, Driver, NaiveDriver, OverflowDriver, PmaDriver,
+};
+use dsf_core::{Calibrator, DenseFileConfig, NodeId};
+use dsf_workloads::{scenario_plan, Op, Scenario};
+
+const PAGES: u32 = 256;
+const OPS: usize = 1024;
+
+fn drivers(cfg: DenseFileConfig) -> Vec<Box<dyn Driver>> {
+    vec![
+        Box::new(DenseDriver::new("dense-c2", cfg)),
+        Box::new(BTreeDriver::new(40)),
+        Box::new(PmaDriver::new(PAGES, 40, 8)),
+        Box::new(NaiveDriver::new(40)),
+        Box::new(OverflowDriver::new(PAGES, 40)),
+    ]
+}
+
+/// Replays `ops` and returns the outcome of every op as a number:
+/// booleans as 0/1, scans as their record count.
+fn outcome_trace<D: Driver + ?Sized>(d: &mut D, backbone: &[u64], ops: &[Op]) -> Vec<u64> {
+    d.bulk_backbone(backbone);
+    ops.iter()
+        .map(|op| match *op {
+            Op::Insert(k) => u64::from(d.insert(k)),
+            Op::Remove(k) => u64::from(d.remove(k)),
+            Op::Get(k) => u64::from(d.get(k)),
+            Op::Scan { start, limit } => d.scan(start, limit) as u64,
+        })
+        .collect()
+}
+
+#[test]
+fn every_scenario_is_behaviorally_identical_across_structures() {
+    let cfg = DenseFileConfig::control2(PAGES, 8, 40);
+    let rc = cfg.resolve().expect("valid differential config");
+    let geom = scenario_geometry(&rc);
+    for s in Scenario::ALL {
+        let plan = scenario_plan(s, &geom, 0xD1FF, OPS);
+        let mut touched: Vec<u64> = plan.backbone.clone();
+        for op in &plan.ops {
+            match *op {
+                Op::Insert(k) | Op::Remove(k) | Op::Get(k) => touched.push(k),
+                Op::Scan { start, .. } => touched.push(start),
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        let mut ds = drivers(cfg);
+        let (reference, rest) = ds.split_first_mut().expect("driver list non-empty");
+        let want = outcome_trace(reference.as_mut(), &plan.backbone, &plan.ops);
+        // Scenario streams are in-plan by construction: no refused
+        // inserts, no missed removes (the oracle would hide a generator
+        // bug if the reference itself refused work).
+        for (i, (&got, op)) in want.iter().zip(&plan.ops).enumerate() {
+            if matches!(op, Op::Insert(_) | Op::Remove(_)) {
+                assert_eq!(got, 1, "{}: op {i} {op:?} refused on reference", s.name());
+            }
+        }
+        for d in rest {
+            let got = outcome_trace(d.as_mut(), &plan.backbone, &plan.ops);
+            if let Some(i) = (0..want.len()).find(|&i| want[i] != got[i]) {
+                panic!(
+                    "{} vs dense-c2 on `{}`: op {i} {:?} gave {} (dense gave {})",
+                    d.name(),
+                    s.name(),
+                    plan.ops[i],
+                    got[i],
+                    want[i]
+                );
+            }
+            assert_eq!(
+                d.len(),
+                reference.len(),
+                "{} final record count diverges on `{}`",
+                d.name(),
+                s.name()
+            );
+            for &k in &touched {
+                assert_eq!(
+                    d.get(k),
+                    reference.get(k),
+                    "{} disagrees with dense-c2 on key {k} after `{}`",
+                    d.name(),
+                    s.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workloads_thresholds_match_calibrator_exactly() {
+    // Over an empty calibrator `records_until_ge(n, q)` is the raw
+    // g(v, q/3) threshold for RANGE(n) — precisely what the adversarial
+    // generator's `threshold_records` recomputes without the dsf-core
+    // dependency. Sweep every depth and all four thresholds at several
+    // geometries; the integer numerators must agree bit-for-bit.
+    for (pages, dmin, dmax) in [
+        (256u32, 8u32, 40u32),
+        (1024, 8, 40),
+        (64, 4, 20),
+        (16, 2, 6),
+    ] {
+        let rc = DenseFileConfig::control2(pages, dmin, dmax)
+            .resolve()
+            .expect("valid sweep config");
+        // The calibrator lives at the resolved slot level (K pages fold
+        // into one slot of density K·d..K·D), same as scenario_geometry.
+        let cal: Calibrator<u64> = Calibrator::new(rc.slots, rc.slot_min, rc.slot_max);
+        let geom = scenario_geometry(&rc);
+        assert_eq!(geom.slots, u64::from(rc.slots));
+        for depth in 0..=geom.log_slots {
+            let node = NodeId(1 << depth);
+            let width = geom.slots >> depth;
+            assert_eq!(width, cal.width(node), "width disagrees at depth {depth}");
+            for q in 0..=3u8 {
+                assert_eq!(
+                    geom.threshold_records(depth, width, q),
+                    cal.records_until_ge(node, q),
+                    "threshold disagrees: pages={pages} depth={depth} q={q}"
+                );
+            }
+        }
+    }
+}

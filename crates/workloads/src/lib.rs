@@ -18,9 +18,19 @@
 //!
 //! All functions are pure in their `seed`: the same arguments always yield
 //! the same stream, so experiments are reproducible run to run.
+//!
+//! The [`scenario`] module composes these primitives into the five named
+//! end-to-end scenarios of the E17 scale matrix (adversarial, zipfian,
+//! time-series, delete-churn, scan-while-write), each a backbone + op
+//! stream derived purely from a file [`Geometry`] and a seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod scenario;
+pub use scenario::{
+    backbone_keys, scenario_plan, Geometry, Scenario, ScenarioPlan, SCENARIO_STRIDE,
+};
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;

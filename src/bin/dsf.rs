@@ -77,7 +77,9 @@ usage:
       Figure-4-style per-moment table for one command
   dsf bench-gate <baseline.json> <candidate.json> [--threshold T] [--report path]
       fails (exit 1) when a gated metric (io/fsync/wall ratios, p99_speedup,
-      overhead_ratio, max_accesses) regresses > T (default 0.15)";
+      overhead_ratio, max_accesses) regresses > T (default 0.15); any
+      max_accesses_<scenario> key in the baseline gates at 0% slack
+      (deterministic worst-case streams — an increase of 1 page fails)";
 
 fn run(args: &[String]) -> Result<String, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -901,6 +903,26 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Every JSON key of `text` starting with `prefix` (e.g. the per-scenario
+/// `max_accesses_<scenario>` metrics E17 emits), in file order.
+fn json_keys_with_prefix(text: &str, prefix: &str) -> Vec<String> {
+    let pat = format!("\"{prefix}");
+    let mut keys = Vec::new();
+    let mut at = 0;
+    while let Some(i) = text[at..].find(&pat) {
+        let start = at + i + 1; // past the opening quote
+        let Some(len) = text[start..].find('"') else {
+            break;
+        };
+        let key = &text[start..start + len];
+        if text[start + len + 1..].trim_start().starts_with(':') {
+            keys.push(key.to_string());
+        }
+        at = start + len + 1;
+    }
+    keys
+}
+
 fn bench_gate(args: &[String]) -> Result<String, String> {
     let baseline_path = args.first().ok_or("bench-gate: missing <baseline.json>")?;
     let candidate_path = args.get(1).ok_or("bench-gate: missing <candidate.json>")?;
@@ -953,11 +975,45 @@ fn bench_gate(args: &[String]) -> Result<String, String> {
             regressions.push(key);
         }
     }
+    // Per-scenario worst-case gates (E17): the streams and structures are
+    // fully deterministic, so these gate at 0% slack — one extra page on
+    // any scenario's worst command fails the gate. A scenario present in
+    // the baseline but missing from the candidate also fails (a silently
+    // dropped scenario must not pass).
+    let mut dynamic: Vec<String> = Vec::new();
+    for key in json_keys_with_prefix(&base, "max_accesses_") {
+        let Some(b) = json_number(&base, &key) else {
+            continue;
+        };
+        checked += 1;
+        let line = match json_number(&cand, &key) {
+            None => {
+                dynamic.push(key.clone());
+                format!("  {key:<34} baseline {b:>6.0}  candidate    MISSING  REGRESSION\n")
+            }
+            Some(c) => {
+                let regressed = c > b;
+                if regressed {
+                    dynamic.push(key.clone());
+                }
+                format!(
+                    "  {key:<34} baseline {b:>6.0}  candidate {c:>6.0}  exact  {}\n",
+                    if regressed { "REGRESSION" } else { "ok" }
+                )
+            }
+        };
+        report.push_str(&line);
+    }
+    let mut regressions: Vec<&str> = regressions
+        .into_iter()
+        .chain(dynamic.iter().map(String::as_str))
+        .collect();
+    regressions.dedup();
     if checked == 0 {
         return Err(format!(
             "bench-gate: none of the gated metrics (io_call_ratio, fsync_ratio, overhead_ratio, \
-             max_accesses, pool_wall_ratio, core_wall_ratio, wal_wall_ratio, p99_speedup) appear \
-             in both `{baseline_path}` and `{candidate_path}`"
+             max_accesses, pool_wall_ratio, core_wall_ratio, wal_wall_ratio, p99_speedup, \
+             max_accesses_<scenario>) appear in both `{baseline_path}` and `{candidate_path}`"
         ));
     }
     if let Some(rp) = flag(args, "--report") {

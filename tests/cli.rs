@@ -501,6 +501,37 @@ fn cli_flight_example52_and_bench_gate() {
     assert!(std::fs::read_to_string(dir.join("gate.txt"))
         .unwrap()
         .contains("REGRESSION"));
+
+    // Per-scenario E17 keys gate at 0% slack: equal passes even when the
+    // key is well inside the 15% threshold window, +1 page fails, and a
+    // scenario missing from the candidate fails.
+    let sb = "{\n  \"max_accesses_adversarial\": 203,\n  \"max_accesses_zipfian\": 14\n}\n";
+    std::fs::write(dir.join("sc_base.json"), sb).unwrap();
+    std::fs::write(dir.join("sc_same.json"), sb).unwrap();
+    std::fs::write(
+        dir.join("sc_bump.json"),
+        "{\n  \"max_accesses_adversarial\": 204,\n  \"max_accesses_zipfian\": 14\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("sc_drop.json"),
+        "{\n  \"max_accesses_adversarial\": 203\n}\n",
+    )
+    .unwrap();
+    let out = dsf(&dir, &["bench-gate", "sc_base.json", "sc_same.json"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("bench-gate: PASS"));
+    let out = dsf(&dir, &["bench-gate", "sc_base.json", "sc_bump.json"]);
+    assert!(!out.status.success(), "+1 page on a scenario must fail");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("regression in max_accesses_adversarial"),
+        "{err}"
+    );
+    let out = dsf(&dir, &["bench-gate", "sc_base.json", "sc_drop.json"]);
+    assert!(!out.status.success(), "dropped scenario must fail");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("regression in max_accesses_zipfian"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,6 +1,11 @@
 //! Large-scale validation, ignored by default (minutes of work; run with
 //! `cargo test --release --test large_scale -- --ignored`).
+//!
+//! The flight-audited tests share the process-wide flight recorder, so
+//! they must not run concurrently with other recording tests; CI runs
+//! them by name filter (`--test large_scale million -- --ignored`).
 
+use dsf_workloads::{scenario_plan, Geometry, Op, Scenario};
 use willard_dsf::{DenseFile, DenseFileConfig};
 
 /// A quarter-million-page file hammered to capacity: the worst command must
@@ -24,6 +29,88 @@ fn quarter_million_pages_hammer() {
         f.op_stats().max_accesses
     );
     assert_eq!(f.op_stats().no_source_shifts, 0);
+}
+
+/// A million-page file under the adversarial scenario, with the flight
+/// recorder certifying *every* structural command against the exact
+/// `K·(3J+2)+2` page bound — not the looser `3JK + O(1)` envelope the
+/// hammer tests use. The stream (see `dsf_workloads::scenario`) pins a
+/// subtree inside the calibrator's warning band so commands run at the
+/// full `J`-step SHIFT budget; if CONTROL 2 ever spent one page more
+/// than the paper's worst case, this is the test that catches it.
+#[test]
+#[ignore = "minutes-long; run explicitly with --release -- --ignored"]
+fn million_pages_adversarial_within_flight_bound() {
+    const AUDIT_CHUNK: u64 = 128;
+    let cfg = DenseFileConfig::control2(1 << 20, 8, 80);
+    let rc = cfg.resolve().unwrap();
+    let geom = Geometry {
+        slots: u64::from(rc.slots),
+        slot_min: rc.slot_min,
+        slot_max: rc.slot_max,
+        log_slots: rc.log_slots,
+    };
+    let plan = scenario_plan(Scenario::Adversarial, &geom, 0xADE5, 40_000);
+
+    let mut f: DenseFile<u64, u64> = DenseFile::new(cfg).unwrap();
+    f.bulk_load(plan.backbone.iter().map(|&k| (k, k))).unwrap();
+
+    let budget = dsf_flight::BoundBudget {
+        j: u64::from(rc.j),
+        k: u64::from(rc.k),
+        log_slots: u64::from(rc.log_slots),
+        gap: rc.slot_max - rc.slot_min,
+    };
+    dsf_flight::clear();
+    dsf_flight::enable();
+    let (mut audited, mut worst) = (0u64, 0u64);
+    let audit_chunk = |audited: &mut u64, worst: &mut u64| {
+        let att = dsf_flight::snapshot_log(budget).replay();
+        assert_eq!(att.dropped, 0, "flight ring evicted frames mid-chunk");
+        assert_eq!(att.incomplete, 0, "command left open at audit point");
+        let report = att.audit();
+        assert!(report.ok(), "bound audit failed: {:?}", report.violations);
+        *audited += att.command_count();
+        *worst = (*worst).max(att.max_accesses());
+        dsf_flight::clear();
+    };
+    let mut in_chunk = 0u64;
+    for op in &plan.ops {
+        match *op {
+            Op::Insert(k) => {
+                f.insert(k, k).unwrap();
+                in_chunk += 1;
+            }
+            Op::Remove(k) => {
+                assert!(f.remove(&k).is_some());
+                in_chunk += 1;
+            }
+            Op::Get(_) | Op::Scan { .. } => unreachable!("adversarial is structural-only"),
+        }
+        if in_chunk >= AUDIT_CHUNK {
+            audit_chunk(&mut audited, &mut worst);
+            in_chunk = 0;
+        }
+    }
+    audit_chunk(&mut audited, &mut worst);
+    dsf_flight::disable();
+    dsf_flight::clear();
+
+    assert_eq!(audited, plan.ops.len() as u64, "audit missed commands");
+    assert_eq!(
+        worst,
+        f.op_stats().max_accesses,
+        "flight vs OpStats disagree"
+    );
+    let limit = budget.page_limit();
+    assert!(worst <= limit, "worst {worst} exceeds K(3J+2)+2 = {limit}");
+    // The stream is doing its job: the observed worst case must actually
+    // sit at the full J-budget plateau, not just under the ceiling.
+    assert!(
+        worst + 4 >= limit,
+        "adversarial stream lost its sting: worst {worst} far below {limit}"
+    );
+    f.check_invariants().unwrap();
 }
 
 /// A smaller always-on cousin so CI still exercises a six-figure command
