@@ -13,7 +13,11 @@
 //!   run is individually certified, not just the max. The adversarial
 //!   stream (see `dsf_workloads::scenario` for the density argument) is
 //!   built to pin a subtree inside the calibrator's warning band and
-//!   collect the full `J`-step budget on every command.
+//!   collect the full `J`-step budget on every command; its delete-side
+//!   twin aims the same pressure at CONTROL 2's lower thresholds. A
+//!   second pass replays every scenario through [`ShardedFile`] — all
+//!   stripes streaming at once, batches applied in parallel — proving the
+//!   shard layer preserves the per-command audit.
 //!
 //! * **The update-cost vs stream-retrieval trade-off, head-to-head.** The
 //!   same op streams replay through the B+-tree, amortized PMA, naive
@@ -31,7 +35,8 @@
 
 use dsf_bench::{f, replay_ops, scenario_geometry, Driver, Table};
 use dsf_bench::{BTreeDriver, DenseDriver, NaiveDriver, OverflowDriver, PmaDriver};
-use dsf_core::{DenseFile, DenseFileConfig};
+use dsf_concurrent::ShardedFile;
+use dsf_core::{Command, CommandOutcome, DenseFile, DenseFileConfig};
 use dsf_flight::BoundBudget;
 use dsf_workloads::{scenario_plan, Op, Scenario, SCENARIO_STRIDE};
 use std::time::Instant;
@@ -151,6 +156,138 @@ fn run_at_scale(s: Scenario, pages: u32, ops_len: usize) -> ScaleRow {
     }
 }
 
+struct ShardRow {
+    name: &'static str,
+    commands: u64,
+    worst: u64,
+    limit: u64,
+    mean: f64,
+    wall_ms: f64,
+}
+
+/// Replays one scenario through [`ShardedFile`]: every stripe streams the
+/// same plan, keys offset into its own key range, with commands from all
+/// stripes interleaved into `apply_batch` groups that the shard layer
+/// partitions and applies **in parallel** — and the live flight audit on
+/// throughout. This is the audit claim one layer up: concurrent shard
+/// threads record page charges into the one flight ring, and every
+/// command of every stripe must still reconcile individually against the
+/// per-shard `J` budget and `K·(3J+2)+2`.
+fn run_sharded(s: Scenario, shards: u32, pages: u32, ops_len: usize) -> ShardRow {
+    let cfg = DenseFileConfig::control2(pages, 8, 80);
+    let rc = cfg.resolve().expect("valid shard config");
+    let geom = scenario_geometry(&rc);
+    let plan = scenario_plan(s, &geom, SEED, ops_len);
+    // Mirrors the router's stripe math: stripe `sh` owns keys starting at
+    // `sh · ceil(2^64 / shards)`, and scenario keys are far smaller than
+    // one stripe's width — so `offset(sh, k)` lands exactly on shard `sh`.
+    let stripe = (u64::MAX / u64::from(shards)).saturating_add(1);
+    let offset = |sh: u64, k: u64| sh * stripe + k;
+
+    let file: ShardedFile<u64> = ShardedFile::new(shards, cfg).expect("valid shard config");
+    for sh in 0..u64::from(shards) {
+        file.bulk_load(plan.backbone.iter().map(|&k| (offset(sh, k), k)))
+            .expect("backbone fits per stripe");
+        assert_eq!(file.shard_of(offset(sh, plan.backbone[0])), sh as usize);
+    }
+
+    let budget = BoundBudget {
+        j: u64::from(rc.j),
+        k: u64::from(rc.k),
+        log_slots: u64::from(rc.log_slots),
+        gap: rc.slot_max - rc.slot_min,
+    };
+    dsf_flight::clear();
+    dsf_flight::enable();
+
+    let started = Instant::now();
+    let (mut audited, mut total, mut worst) = (0u64, 0u64, 0u64);
+    let mut batch: Vec<Command<u64, u64>> = Vec::with_capacity(AUDIT_CHUNK as usize);
+    let flush = |batch: &mut Vec<Command<u64, u64>>,
+                 audited: &mut u64,
+                 total: &mut u64,
+                 worst: &mut u64| {
+        if batch.is_empty() {
+            return;
+        }
+        for (i, outcome) in file.apply_batch(batch).into_iter().enumerate() {
+            assert!(
+                matches!(
+                    outcome,
+                    CommandOutcome::Inserted | CommandOutcome::Removed(_)
+                ),
+                "sharded replay: command {i} did not apply structurally: {outcome:?}"
+            );
+        }
+        audit_chunk(budget, audited, total, worst);
+        batch.clear();
+    };
+    for op in &plan.ops {
+        match *op {
+            Op::Insert(k) => {
+                for sh in 0..u64::from(shards) {
+                    batch.push(Command::Insert(offset(sh, k), k));
+                }
+            }
+            Op::Remove(k) => {
+                for sh in 0..u64::from(shards) {
+                    batch.push(Command::Remove(offset(sh, k)));
+                }
+            }
+            Op::Get(k) => {
+                for sh in 0..u64::from(shards) {
+                    file.get(&offset(sh, k));
+                }
+            }
+            Op::Scan { start, limit } => {
+                // Stays inside stripe 0: `stripe - 1` is its last key.
+                file.collect_range(start, stripe - 1, limit);
+            }
+        }
+        if batch.len() as u64 >= AUDIT_CHUNK {
+            flush(&mut batch, &mut audited, &mut total, &mut worst);
+        }
+    }
+    flush(&mut batch, &mut audited, &mut total, &mut worst);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    dsf_flight::disable();
+    dsf_flight::clear();
+
+    // Completeness: the chunked audit saw every stripe's copy of every
+    // structural command, and the flight recorder's worst agrees with the
+    // shards' own merged accounting.
+    let stats = file.merged_op_stats();
+    let structural = plan
+        .ops
+        .iter()
+        .filter(|op| matches!(op, Op::Insert(_) | Op::Remove(_)))
+        .count() as u64
+        * u64::from(shards);
+    assert_eq!(audited, structural, "sharded audit missed commands");
+    assert_eq!(
+        worst, stats.max_accesses,
+        "flight vs merged OpStats disagree"
+    );
+    assert!(
+        worst <= budget.page_limit(),
+        "worst sharded command {worst} exceeds K(3J+2)+2 = {}",
+        budget.page_limit()
+    );
+    assert!(
+        file.check_invariants().is_ok(),
+        "shard invariants after scenario"
+    );
+
+    ShardRow {
+        name: s.name(),
+        commands: audited,
+        worst,
+        limit: budget.page_limit(),
+        mean: total as f64 / audited.max(1) as f64,
+        wall_ms,
+    }
+}
+
 struct HeadToHead {
     structure: &'static str,
     update_mean: f64,
@@ -197,7 +334,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for s in Scenario::ALL {
-        let pages = if s == Scenario::Adversarial {
+        let pages = if matches!(s, Scenario::Adversarial | Scenario::AdversarialDelete) {
             if quick {
                 1 << 20
             } else {
@@ -230,6 +367,40 @@ fn main() {
     }
     println!();
     t.print("scenario matrix — worst-case audit at scale");
+
+    // ---- Phase 1b: the same audit through the shard layer. ------------
+    let shards: u32 = 4;
+    let shard_pages: u32 = if quick { 1 << 12 } else { 1 << 14 };
+    let ops_shard = if quick { 4_000 } else { 12_000 };
+    println!(
+        "-- per-command audit through ShardedFile ({shards} stripes, M={shard_pages} each) --"
+    );
+    println!("every stripe streams the scenario; batches apply in parallel;");
+    println!("the one flight ring still certifies every command individually.\n");
+
+    let mut shard_rows = Vec::new();
+    for s in Scenario::ALL {
+        let row = run_sharded(s, shards, shard_pages, ops_shard);
+        println!(
+            "  {:<18} worst {:>3} / limit {:<3}  {:>6} commands  ok",
+            row.name, row.worst, row.limit, row.commands
+        );
+        shard_rows.push(row);
+    }
+    let mut t = Table::new(["scenario", "commands", "worst", "limit", "mean", "wall ms"]);
+    for r in &shard_rows {
+        t.row([
+            r.name.to_string(),
+            r.commands.to_string(),
+            r.worst.to_string(),
+            r.limit.to_string(),
+            f(r.mean),
+            f(r.wall_ms),
+        ]);
+    }
+    println!();
+    t.print("scenario matrix — audited through the shard layer");
+    println!();
 
     // ---- Phase 2: head-to-head baselines. -----------------------------
     let hh_pages: u32 = 1 << 10;
@@ -290,6 +461,12 @@ fn main() {
         json.push_str(&format!(
             "  \"max_accesses_{}\": {},\n  \"mean_accesses_{}\": {:.3},\n  \"commands_{}\": {},\n  \"page_limit_{}\": {},\n  \"wall_ms_{}\": {:.1},\n",
             r.name, r.worst, r.name, r.mean, r.name, r.commands, r.name, r.limit, r.name, r.wall_ms,
+        ));
+    }
+    for r in &shard_rows {
+        json.push_str(&format!(
+            "  \"max_accesses_shard_{}\": {},\n  \"mean_accesses_shard_{}\": {:.3},\n  \"commands_shard_{}\": {},\n",
+            r.name, r.worst, r.name, r.mean, r.name, r.commands,
         ));
     }
     json.push_str(&hh_json);

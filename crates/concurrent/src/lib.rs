@@ -174,6 +174,34 @@ impl<V> ShardedFile<V> {
         self.capacity
     }
 
+    /// Bulk-loads strictly-ascending records, each stripe receiving its
+    /// key range via [`DenseFile::bulk_load`] — so every shard starts from
+    /// the uniform-density spread of Theorem 5.5, exactly as a single
+    /// dense file would (incremental inserts leave a different physical
+    /// layout).
+    ///
+    /// # Errors
+    ///
+    /// Any per-shard [`DenseFile::bulk_load`] error (shard not empty,
+    /// records out of order, or one stripe over its `d·M` capacity).
+    /// Stripes loaded before the failing one keep their records.
+    pub fn bulk_load<I>(&self, items: I) -> Result<(), DsfError>
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
+        let n = self.router.shards as usize;
+        let mut parts: Vec<Vec<(u64, V)>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, v) in items {
+            parts[self.router.shard_of(k)].push((k, v));
+        }
+        for (s, part) in parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                self.shards[s].write().bulk_load(part)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Inserts a record into its stripe.
     ///
     /// # Errors
@@ -208,6 +236,30 @@ impl<V> ShardedFile<V> {
     where
         V: Clone + Send + Sync,
     {
+        self.apply_batch_with(cmds, |_, _, _| {})
+    }
+
+    /// [`apply_batch`](Self::apply_batch) with a per-command observer,
+    /// called with `(caller_index, outcome, flight_seq)` on the applying
+    /// shard's thread immediately after each command completes —
+    /// `flight_seq` is [`dsf_flight::current_seq`] at that instant (0 when
+    /// the recorder is off), which is exactly the sequence number the
+    /// flight ring attributed the command's page charges to. This is how
+    /// the network front-end stamps every response with the seq a later
+    /// `dsf flight replay` will report, end to end.
+    ///
+    /// The observer may be called from several shard threads concurrently
+    /// (hence `Fn + Sync`), but for any single caller index it is called
+    /// exactly once.
+    pub fn apply_batch_with<F>(
+        &self,
+        cmds: &[Command<u64, V>],
+        observe: F,
+    ) -> Vec<CommandOutcome<V>>
+    where
+        V: Clone + Send + Sync,
+        F: Fn(usize, &CommandOutcome<V>, u64) + Sync,
+    {
         // Partition by stripe, remembering each command's original index.
         type Part<V> = (Vec<usize>, Vec<Command<u64, V>>);
         let n_shards = self.router.shards as usize;
@@ -217,6 +269,7 @@ impl<V> ShardedFile<V> {
             parts[s].0.push(i);
             parts[s].1.push(cmd.clone());
         }
+        let observe = &observe;
         let results: Vec<(Vec<usize>, Vec<CommandOutcome<V>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .into_iter()
@@ -226,7 +279,9 @@ impl<V> ShardedFile<V> {
                     self.shard_commands[s].add(sub.len() as u64);
                     scope.spawn(move || {
                         let mut shard = self.lock_write(s);
-                        let outcomes = shard.apply_batch(&sub);
+                        let outcomes = shard.apply_batch_with(&sub, |j, o| {
+                            observe(idx[j], o, dsf_flight::current_seq());
+                        });
                         (idx, outcomes)
                     })
                 })

@@ -577,6 +577,29 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         cmds: &[Command<K, V>],
         durability: Durability,
     ) -> Result<Vec<CommandOutcome<V>>, DurableError> {
+        self.apply_batch_durable_with(cmds, durability, |_, _, _| {})
+    }
+
+    /// [`apply_batch_durable`](Self::apply_batch_durable) with a
+    /// per-command observer, called with `(index, outcome, flight_seq)`
+    /// immediately after each command executes in memory — `flight_seq`
+    /// is [`dsf_flight::current_seq`] at that instant (0 while the
+    /// recorder is off), i.e. the sequence number the flight ring
+    /// attributed the command's page and WAL-frame charges to. The network
+    /// front-end uses this to stamp responses for end-to-end attribution.
+    ///
+    /// On `Err` the batch was rolled back *after* the observer already saw
+    /// the in-memory outcomes; callers must treat observed outcomes as
+    /// provisional until the call returns `Ok`.
+    pub fn apply_batch_durable_with<O>(
+        &mut self,
+        cmds: &[Command<K, V>],
+        durability: Durability,
+        mut observe: O,
+    ) -> Result<Vec<CommandOutcome<V>>, DurableError>
+    where
+        O: FnMut(usize, &CommandOutcome<V>, u64),
+    {
         if self.log_poisoned() {
             return Err(DurableError::LogPoisoned);
         }
@@ -594,6 +617,7 @@ impl<K: Key + Codec, V: Codec + Clone, F: Vfs> DurableFile<K, V, F> {
         // flight recorder attributes each WAL frame to the command that
         // produced it; no syscall happens until the group flush below.
         let outcomes = self.file.apply_batch_with(cmds, |i, outcome| {
+            observe(i, outcome, dsf_flight::current_seq());
             let body = match (&cmds[i], outcome) {
                 (Command::Insert(k, v), CommandOutcome::Inserted | CommandOutcome::Replaced(_)) => {
                     let mut b = vec![OP_INSERT];

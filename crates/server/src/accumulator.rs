@@ -1,0 +1,325 @@
+//! The per-shard request accumulator: concurrent clients in, group
+//! commits out.
+//!
+//! Every structural request is routed (by the service's own stripe
+//! function) to a bounded per-shard queue. One worker thread per shard
+//! drains its queue in arrival order, up to [`Config::batch_window`]
+//! commands at a time, and applies the whole batch through
+//! [`KvService::apply_batch`] — which is exactly one
+//! `DenseFile::apply_batch` group apply (PR 5) and, on the durable
+//! backend, one WAL group commit (PR 5/PR 6). The consequence is the
+//! paper-facing property the server exists to demonstrate: **the number
+//! of fsyncs per command falls with the number of concurrent clients**,
+//! because requests that arrive while the worker is busy fsyncing the
+//! previous batch coalesce into the next one.
+//!
+//! *Durability on ack* is decided per batch: a batch is applied `Strict`
+//! iff it contains at least one `Strict` request (the WAL closes the
+//! commit window once, covering the whole batch — a `Relaxed` request
+//! sharing the batch is simply upgraded for free). A batch of only
+//! `Relaxed` requests lands in the open commit window and its acks go
+//! out before the fsync — which is what `Relaxed` means.
+//!
+//! *Backpressure*: [`Accumulator::submit`] blocks while the shard's
+//! queue holds [`Config::queue_capacity`] requests, so a burst cannot
+//! queue unboundedly — the connection thread stalls, TCP flow control
+//! pushes back on the client, and the pipeline depth stays bounded
+//! end to end.
+
+use crate::protocol::{Outcome, Response};
+use crate::service::{wire_outcome, KvCommand, KvService};
+use crate::tel::ServerTel;
+use dsf_durable::Durability;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Accumulator tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Most commands one batch (= one group commit) may carry.
+    pub batch_window: usize,
+    /// Most requests a shard queue may hold before `submit` blocks.
+    pub queue_capacity: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            batch_window: 64,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// A one-shot reply slot: the connection's writer parks on it until the
+/// shard worker (or the read path, immediately) fulfills it.
+pub struct ReplySlot {
+    state: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    /// Creates an unfulfilled slot.
+    pub fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Creates an already-fulfilled slot (read-path responses).
+    pub fn ready(rsp: Response) -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            state: Mutex::new(Some(rsp)),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Fulfills the slot, waking the waiter.
+    pub fn fulfill(&self, rsp: Response) {
+        let mut st = self.state.lock().expect("reply slot poisoned");
+        *st = Some(rsp);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until fulfilled and takes the response.
+    pub fn wait(&self) -> Response {
+        let mut st = self.state.lock().expect("reply slot poisoned");
+        loop {
+            if let Some(rsp) = st.take() {
+                return rsp;
+            }
+            st = self.ready.wait(st).expect("reply slot poisoned");
+        }
+    }
+}
+
+/// One queued structural request.
+struct Pending {
+    cmd: KvCommand,
+    durability: Durability,
+    slot: Arc<ReplySlot>,
+    enqueued: Instant,
+}
+
+struct ShardQueue {
+    q: Mutex<VecDeque<Pending>>,
+    /// Wakes the shard worker when work arrives or the queue closes.
+    work: Condvar,
+    /// Wakes blocked submitters when the worker frees space.
+    space: Condvar,
+}
+
+/// The accumulator: shared by connection threads (submit side) and owned
+/// workers (drain side).
+pub struct Accumulator {
+    service: Arc<dyn KvService>,
+    cfg: Config,
+    queues: Vec<ShardQueue>,
+    closed: AtomicBool,
+    tel: Arc<ServerTel>,
+}
+
+impl Accumulator {
+    /// Builds the queues (one per service shard). Workers are spawned
+    /// separately via [`Accumulator::run_worker`] so the caller owns the
+    /// join handles.
+    pub fn new(service: Arc<dyn KvService>, cfg: Config, tel: Arc<ServerTel>) -> Arc<Self> {
+        assert!(cfg.batch_window >= 1, "batch window must hold a command");
+        assert!(
+            cfg.queue_capacity >= cfg.batch_window,
+            "queue must hold at least one full batch"
+        );
+        let queues = (0..service.shard_count())
+            .map(|_| ShardQueue {
+                q: Mutex::new(VecDeque::new()),
+                work: Condvar::new(),
+                space: Condvar::new(),
+            })
+            .collect();
+        Arc::new(Accumulator {
+            service,
+            cfg,
+            queues,
+            closed: AtomicBool::new(false),
+            tel,
+        })
+    }
+
+    /// The service this accumulator feeds.
+    pub fn service(&self) -> &Arc<dyn KvService> {
+        &self.service
+    }
+
+    /// Enqueues one structural command for its shard, blocking while the
+    /// shard's queue is full (backpressure). Returns the slot the reply
+    /// will arrive on, or an error response if the accumulator is closed.
+    pub fn submit(
+        &self,
+        cmd: KvCommand,
+        durability: Durability,
+    ) -> Result<Arc<ReplySlot>, Response> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(Response::Error("server is shutting down".into()));
+        }
+        let shard = self.service.shard_of(*cmd.key());
+        let slot = ReplySlot::new();
+        let sq = &self.queues[shard];
+        let mut q = sq.q.lock().expect("shard queue poisoned");
+        while q.len() >= self.cfg.queue_capacity {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(Response::Error("server is shutting down".into()));
+            }
+            q = sq.space.wait(q).expect("shard queue poisoned");
+        }
+        // Re-check under the lock: `close` takes every queue lock, so a
+        // submit that got here before `close` acquired this lock is seen
+        // and drained by the worker's final sweep.
+        if self.closed.load(Ordering::Acquire) {
+            return Err(Response::Error("server is shutting down".into()));
+        }
+        q.push_back(Pending {
+            cmd,
+            durability,
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        });
+        self.tel.queue_depth[shard].set(q.len() as f64);
+        drop(q);
+        sq.work.notify_one();
+        Ok(slot)
+    }
+
+    /// The shard worker loop: drain → group-apply → reply, until the
+    /// accumulator closes *and* the queue is empty. Run on a dedicated
+    /// thread per shard.
+    pub fn run_worker(&self, shard: usize) {
+        let sq = &self.queues[shard];
+        loop {
+            let batch: Vec<Pending> = {
+                let mut q = sq.q.lock().expect("shard queue poisoned");
+                loop {
+                    if !q.is_empty() {
+                        break;
+                    }
+                    if self.closed.load(Ordering::Acquire) {
+                        return; // drained and closed: worker done
+                    }
+                    q = sq.work.wait(q).expect("shard queue poisoned");
+                }
+                let n = q.len().min(self.cfg.batch_window);
+                let batch = q.drain(..n).collect();
+                self.tel.queue_depth[shard].set(q.len() as f64);
+                batch
+            };
+            sq.space.notify_all();
+            self.apply(shard, batch);
+        }
+    }
+
+    /// Applies one drained batch and fulfills its reply slots.
+    fn apply(&self, shard: usize, batch: Vec<Pending>) {
+        // One Strict passenger upgrades the whole batch: the window
+        // closes once and every frame in it becomes durable together.
+        let durability = if batch.iter().any(|p| p.durability == Durability::Strict) {
+            Durability::Strict
+        } else {
+            Durability::Relaxed
+        };
+        let cmds: Vec<KvCommand> = batch.iter().map(|p| p.cmd.clone()).collect();
+        let mut seqs = vec![0u64; cmds.len()];
+        let result = self
+            .service
+            .apply_batch(shard, &cmds, durability, &mut |i, _o, seq| {
+                seqs[i] = seq;
+            });
+        self.tel.group_commits.inc();
+        self.tel.batch_commands.record(batch.len() as u64);
+        match result {
+            Ok(outcomes) => {
+                let now = Instant::now();
+                for ((p, outcome), seq) in batch.iter().zip(&outcomes).zip(&seqs) {
+                    self.tel.request_micros.record(
+                        u64::try_from(now.duration_since(p.enqueued).as_micros())
+                            .unwrap_or(u64::MAX),
+                    );
+                    p.slot.fulfill(Response::Applied {
+                        outcome: wire_outcome(outcome),
+                        seq: *seq,
+                    });
+                }
+            }
+            Err(msg) => {
+                // The backend rolled the batch back (or refused it);
+                // nobody gets an ack, everybody learns why.
+                for p in &batch {
+                    p.slot
+                        .fulfill(Response::Error(format!("batch failed: {msg}")));
+                }
+            }
+        }
+    }
+
+    /// Closes the accumulator: new submits fail fast, workers drain what
+    /// is queued and exit. Does not flush the service — the server does
+    /// that once every worker has joined.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for sq in &self.queues {
+            // Taking each lock fences racing submitters: after this loop,
+            // every queued request will be drained, every later submit
+            // fails fast.
+            drop(sq.q.lock().expect("shard queue poisoned"));
+            sq.work.notify_all();
+            sq.space.notify_all();
+        }
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Immediate (unqueued) execution of the read path, returning an
+    /// already-fulfilled slot so reads keep their place in the
+    /// connection's response order.
+    pub fn read(&self, req: ReadRequest) -> Arc<ReplySlot> {
+        let rsp = match req {
+            ReadRequest::Get { key } => Response::Value(self.service.get(key)),
+            ReadRequest::Scan { start, limit } => {
+                Response::Entries(self.service.scan(start, limit as usize))
+            }
+            ReadRequest::Count => Response::Count(self.service.len()),
+            ReadRequest::Ping => Response::Pong,
+        };
+        ReplySlot::ready(rsp)
+    }
+}
+
+/// The read-path subset of the protocol (no durability, no queueing).
+pub enum ReadRequest {
+    /// Point lookup.
+    Get {
+        /// Record key.
+        key: u64,
+    },
+    /// Range scan.
+    Scan {
+        /// First key of interest.
+        start: u64,
+        /// Maximum records returned.
+        limit: u32,
+    },
+    /// Total records.
+    Count,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Maps a just-applied outcome to whether it mutated the file (used by
+/// per-client command counters).
+pub fn is_structural(outcome: &Outcome) -> bool {
+    !matches!(outcome, Outcome::NotFound | Outcome::Rejected(_))
+}

@@ -1,0 +1,77 @@
+//! A blocking, pipelining client for the `dsf serve` wire protocol.
+//!
+//! [`Client::call`] is the simple request/response path. For throughput,
+//! [`Client::send`] queues requests without waiting and [`Client::recv`]
+//! takes responses in request order — keeping several requests in flight
+//! is exactly what lets the server's accumulator form group commits, so
+//! the benchmark clients (E18) drive a fixed pipeline depth.
+
+use crate::protocol::{self, ProtocolError, Request, Response};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connection to a `dsf serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Requests sent but not yet answered.
+    in_flight: usize,
+}
+
+impl Client {
+    /// Connects (and disables Nagle, since frames are small and
+    /// latency-sensitive).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            in_flight: 0,
+        })
+    }
+
+    /// Queues one request. Bytes may sit in the local buffer until
+    /// [`recv`](Self::recv), [`flush`](Self::flush), or the buffer fills.
+    pub fn send(&mut self, req: &Request) -> Result<(), ProtocolError> {
+        protocol::write_request(&mut self.writer, req)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Pushes buffered request bytes onto the wire.
+    pub fn flush(&mut self) -> Result<(), ProtocolError> {
+        self.writer.flush().map_err(ProtocolError::from)
+    }
+
+    /// Takes the next response, in request order. Flushes first so the
+    /// server has everything we queued.
+    pub fn recv(&mut self) -> Result<Response, ProtocolError> {
+        self.flush()?;
+        match protocol::read_response(&mut self.reader)? {
+            Some(rsp) => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                Ok(rsp)
+            }
+            None => Err(ProtocolError::Io(std::io::ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// One request, one response (drains nothing else; callers mixing
+    /// `call` with `send` must [`recv`](Self::recv) their backlog first).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ProtocolError> {
+        assert_eq!(
+            self.in_flight, 0,
+            "call() with {} pipelined responses outstanding",
+            self.in_flight
+        );
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Responses currently owed by the server.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+}

@@ -1,0 +1,47 @@
+//! `dsf-server` — a pipelined network front-end that turns concurrent
+//! clients into group commits.
+//!
+//! The storage layers below already make batches cheap: `DenseFile`
+//! group-applies a sorted batch with one descent per command (PR 5),
+//! the WAL turns a batch into one group commit — one `write`, at most
+//! one `fsync` (PR 5/PR 6). What none of them answer is where batches
+//! *come from*. A single caller has to assemble them by hand; real
+//! concurrency arrives as many small independent requests.
+//!
+//! This crate closes that gap with a deliberately boring stack of
+//! std-only pieces:
+//!
+//! * [`protocol`] — a length-prefixed binary wire format (requests,
+//!   responses, a per-request durability flag), hardened against torn,
+//!   oversized, and trailing-garbage frames.
+//! * [`service`] — [`KvService`], the facade the server fronts;
+//!   [`ShardedKv`] (in-memory `ShardedFile`) and [`DurableKv`] (one
+//!   WAL-backed `DurableFile` per shard) implement it.
+//! * [`accumulator`] — the heart: per-shard bounded queues whose
+//!   workers drain *whatever has accumulated* (up to a window) into one
+//!   `apply_batch` call. Concurrent clients therefore ride shared
+//!   fsyncs without any client-side batching.
+//! * [`server`] / [`client`] — thread-per-connection TCP with request
+//!   pipelining and in-order responses; graceful shutdown drains every
+//!   acked command to disk.
+//!
+//! Every response to a structural command carries the flight-recorder
+//! seq it executed under, so a wire-level ack can be correlated with
+//! the in-process audit trail (`dsf-flight`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+mod tel;
+
+pub use accumulator::{Accumulator, Config as AccumulatorConfig, ReplySlot};
+pub use client::Client;
+pub use protocol::{Outcome, ProtocolError, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use service::{DurableKv, KvService, ShardedKv};
+pub use tel::ServerTel;

@@ -1,0 +1,435 @@
+//! The TCP server: accept loop, per-connection reader/writer pairs, and
+//! the graceful-shutdown choreography.
+//!
+//! Threading model (no async runtime, exactly like the metrics exporter
+//! in `dsf-telemetry` this is patterned on): one non-blocking accept
+//! loop polling a stop flag, two threads per connection — a **reader**
+//! that decodes frames and routes them (structural commands into the
+//! [`Accumulator`], reads executed immediately), and a **writer** that
+//! emits responses *in request order*, parking on each request's
+//! [`ReplySlot`] until its shard worker fulfills it. The bounded channel
+//! between reader and writer is the connection's pipeline window; when
+//! it (or a shard queue) fills, the reader stalls and TCP flow control
+//! extends the backpressure to the client.
+//!
+//! Graceful shutdown ([`Server::shutdown`], triggered by
+//! [`Request::Shutdown`] or by the embedding process):
+//!
+//! 1. stop accepting; 2. connection readers wind down (pending requests
+//!    keep flowing); 3. writers drain — every request that was read gets
+//!    its response; 4. the accumulator closes and shard workers drain
+//!    their queues through the normal group-apply path; 5. the service
+//!    flushes (commit windows close and fsync). Every acked command is
+//!    therefore durable before the process exits — the shutdown+restart
+//!    test pins exactly that.
+
+use crate::accumulator::{Accumulator, Config as AccConfig, ReadRequest, ReplySlot};
+use crate::protocol::{self, ProtocolError, Request, Response};
+use crate::service::KvService;
+use crate::tel::ServerTel;
+use dsf_core::Command;
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Accumulator window and queue bounds.
+    pub accumulator: AccConfig,
+    /// Responses a connection may have in flight before its reader
+    /// stalls (the per-connection pipeline window).
+    pub pipeline_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            accumulator: AccConfig::default(),
+            pipeline_depth: 128,
+        }
+    }
+}
+
+/// How long an idle reader waits between stop-flag polls.
+const POLL: Duration = Duration::from_millis(20);
+/// Patience for the rest of a frame once its first bytes arrived.
+const FRAME_PATIENCE: Duration = Duration::from_secs(5);
+
+struct Inner {
+    acc: Arc<Accumulator>,
+    tel: Arc<ServerTel>,
+    /// Set once: stop accepting, wind down readers.
+    stop: AtomicBool,
+    /// Signals the embedding process that a client asked for shutdown.
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    next_client: AtomicU64,
+    pipeline_depth: usize,
+}
+
+impl Inner {
+    fn request_shutdown(&self) {
+        let mut flag = self.shutdown_requested.lock().expect("shutdown poisoned");
+        *flag = true;
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// A running `dsf serve` instance (embedded or behind the CLI).
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0`), spawns the shard workers and
+    /// the accept loop, and returns immediately.
+    pub fn bind(
+        service: Arc<dyn KvService>,
+        cfg: ServerConfig,
+        addr: &str,
+    ) -> std::io::Result<Server> {
+        let shards = service.shard_count();
+        let tel = ServerTel::new(shards);
+        let acc = Accumulator::new(service, cfg.accumulator, Arc::clone(&tel));
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            acc: Arc::clone(&acc),
+            tel,
+            stop: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            next_client: AtomicU64::new(0),
+            pipeline_depth: cfg.pipeline_depth.max(1),
+        });
+        let workers = (0..shards)
+            .map(|s| {
+                let acc = Arc::clone(&acc);
+                std::thread::Builder::new()
+                    .name(format!("dsf-shard-{s}"))
+                    .spawn(move || acc.run_worker(s))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("dsf-accept".into())
+                .spawn(move || accept_loop(&inner, &listener))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            workers,
+            addr,
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends [`Request::Shutdown`] (the CLI's main
+    /// loop). Returns immediately if one already arrived.
+    pub fn wait_shutdown_request(&self) {
+        let mut flag = self
+            .inner
+            .shutdown_requested
+            .lock()
+            .expect("shutdown poisoned");
+        while !*flag {
+            flag = self
+                .inner
+                .shutdown_cv
+                .wait(flag)
+                .expect("shutdown poisoned");
+        }
+    }
+
+    /// Whether a client has requested shutdown.
+    pub fn shutdown_requested(&self) -> bool {
+        *self
+            .inner
+            .shutdown_requested
+            .lock()
+            .expect("shutdown poisoned")
+    }
+
+    /// Graceful shutdown: drain connections, drain the accumulator,
+    /// flush the service (commit windows close and fsync). Blocks until
+    /// everything has wound down; no acked command is lost.
+    pub fn shutdown(mut self) -> Result<(), String> {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            h.join().map_err(|_| "accept loop panicked".to_string())?;
+        }
+        // Readers notice the stop flag within one poll interval; writers
+        // drain every response that was already read. Join them all.
+        let conns = std::mem::take(&mut *self.inner.conns.lock().expect("conns poisoned"));
+        for c in conns {
+            c.join().map_err(|_| "connection thread panicked")?;
+        }
+        // Now nothing can submit: close the queues and let the shard
+        // workers drain what is left through the normal batch path.
+        self.inner.acc.close();
+        for w in self.workers.drain(..) {
+            w.join().map_err(|_| "shard worker panicked")?;
+        }
+        // Every applied command's frame is at least buffered; close the
+        // windows so even Relaxed acks are durable before we return.
+        self.inner.acc.service().flush()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort teardown for the non-graceful path (tests that
+        // drop the server); the graceful path already took the handles.
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.inner.conns.lock().expect("conns poisoned"));
+        for c in conns {
+            let _ = c.join();
+        }
+        self.inner.acc.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    while !inner.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.tel.connections.inc();
+                let id = inner.next_client.fetch_add(1, Ordering::Relaxed);
+                let conn_inner = Arc::clone(inner);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dsf-conn-{id}"))
+                    .spawn(move || serve_connection(&conn_inner, stream, id))
+                    .expect("spawn connection thread");
+                inner.conns.lock().expect("conns poisoned").push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// What the reader hands the writer, in request order.
+enum WriterItem {
+    /// Wait for the slot, write its response.
+    Reply(Arc<ReplySlot>),
+    /// Barrier: flush the service, then ack.
+    Flush,
+    /// Ack the shutdown request, then signal the embedding process.
+    Shutdown,
+}
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream, client: u64) {
+    let _ = stream.set_nodelay(true);
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::sync_channel::<WriterItem>(inner.pipeline_depth);
+    let writer_inner = Arc::clone(inner);
+    let writer = std::thread::Builder::new()
+        .name(format!("dsf-conn-{client}-w"))
+        .spawn(move || write_loop(&writer_inner, write_half, &rx, client))
+        .expect("spawn connection writer");
+
+    read_loop(inner, stream, &tx, client);
+
+    drop(tx); // writer drains the queue, then exits
+    let _ = writer.join();
+}
+
+/// The reader half: decode frames, route them, preserve order.
+fn read_loop(
+    inner: &Arc<Inner>,
+    mut stream: TcpStream,
+    tx: &mpsc::SyncSender<WriterItem>,
+    _client: u64,
+) {
+    loop {
+        let req = match read_request_patient(&mut stream, inner) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF or stop-flag wind-down
+            Err(err) => {
+                // Framing cannot recover from corrupt input: answer with
+                // the error (best effort, in order) and close.
+                inner.tel.protocol_errors.inc();
+                let slot = ReplySlot::ready(Response::Error(format!("protocol error: {err}")));
+                let _ = tx.send(WriterItem::Reply(slot));
+                return;
+            }
+        };
+        inner.tel.requests.inc();
+        let item = match req {
+            Request::Insert {
+                key,
+                value,
+                durability,
+            } => match inner.acc.submit(Command::Insert(key, value), durability) {
+                Ok(slot) => WriterItem::Reply(slot),
+                Err(rsp) => WriterItem::Reply(ReplySlot::ready(rsp)),
+            },
+            Request::Remove { key, durability } => {
+                match inner.acc.submit(Command::Remove(key), durability) {
+                    Ok(slot) => WriterItem::Reply(slot),
+                    Err(rsp) => WriterItem::Reply(ReplySlot::ready(rsp)),
+                }
+            }
+            Request::Get { key } => WriterItem::Reply(inner.acc.read(ReadRequest::Get { key })),
+            Request::Scan { start, limit } => {
+                WriterItem::Reply(inner.acc.read(ReadRequest::Scan { start, limit }))
+            }
+            Request::Ping => WriterItem::Reply(inner.acc.read(ReadRequest::Ping)),
+            Request::Count => WriterItem::Reply(inner.acc.read(ReadRequest::Count)),
+            Request::Flush => WriterItem::Flush,
+            Request::Shutdown => WriterItem::Shutdown,
+        };
+        let is_shutdown = matches!(item, WriterItem::Shutdown);
+        if tx.send(item).is_err() {
+            return; // writer died (client gone)
+        }
+        if is_shutdown {
+            return; // ack is written by the writer; stop reading
+        }
+    }
+}
+
+/// The writer half: responses out, strictly in request order.
+fn write_loop(inner: &Arc<Inner>, stream: TcpStream, rx: &mpsc::Receiver<WriterItem>, client: u64) {
+    let commands = inner.tel.client_commands(client);
+    let mut w = BufWriter::new(stream);
+    while let Ok(item) = rx.recv() {
+        let write_one = |w: &mut BufWriter<TcpStream>, item: WriterItem| -> bool {
+            let rsp = match item {
+                WriterItem::Reply(slot) => slot.wait(),
+                WriterItem::Flush => match inner.acc.service().flush() {
+                    Ok(()) => Response::Flushed,
+                    Err(e) => Response::Error(format!("flush failed: {e}")),
+                },
+                WriterItem::Shutdown => Response::ShuttingDown,
+            };
+            if matches!(rsp, Response::Applied { .. }) {
+                commands.inc();
+            }
+            let shutdown = matches!(rsp, Response::ShuttingDown);
+            if protocol::write_response(w, &rsp).is_err() {
+                return false;
+            }
+            if shutdown {
+                let _ = w.flush();
+                inner.request_shutdown();
+            }
+            true
+        };
+        if !write_one(&mut w, item) {
+            break;
+        }
+        // Greedily drain whatever else is ready before paying the flush.
+        let mut alive = true;
+        while let Ok(next) = rx.try_recv() {
+            if !write_one(&mut w, next) {
+                alive = false;
+                break;
+            }
+        }
+        if !alive || w.flush().is_err() {
+            break;
+        }
+    }
+    // If the socket died early, keep draining so reply slots are
+    // consumed and the reader unblocks; the responses go nowhere.
+    while let Ok(item) = rx.recv() {
+        if let WriterItem::Reply(slot) = item {
+            let _ = slot.wait();
+        }
+    }
+}
+
+/// Reads one request frame, polling the stop flag while the connection
+/// is idle. `Ok(None)` on clean EOF *or* when the server is stopping and
+/// no frame has started; once a frame's header begins arriving it is
+/// read to completion (bounded by [`FRAME_PATIENCE`]).
+fn read_request_patient(
+    stream: &mut TcpStream,
+    inner: &Inner,
+) -> Result<Option<Request>, ProtocolError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    let _ = stream.set_read_timeout(Some(POLL));
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(ProtocolError::Torn {
+                        needed: header.len() - filled,
+                        got: filled,
+                    })
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && inner.stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > protocol::MAX_FRAME {
+        return Err(ProtocolError::Oversized {
+            len: len as u64,
+            max: protocol::MAX_FRAME as u64,
+        });
+    }
+    // The frame has started: give the body a firm deadline instead of
+    // the poll cadence, then decode.
+    let _ = stream.set_read_timeout(Some(FRAME_PATIENCE));
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < body.len() {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(ProtocolError::Torn {
+                    needed: len - filled,
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Request::decode(&body).map(Some)
+}

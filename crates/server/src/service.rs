@@ -1,0 +1,309 @@
+//! [`KvService`] — the storage facade the server fronts.
+//!
+//! The network layer never touches a file directly: every backend is a
+//! `KvService`, a sharded, internally synchronized key→value store whose
+//! write path is *batched by construction* — the accumulator hands each
+//! shard worker a whole batch, and the service applies it through the
+//! group-commit machinery of the layer it wraps:
+//!
+//! * [`ShardedKv`] wraps [`dsf_concurrent::ShardedFile`]: in-memory,
+//!   `N`-shard, one lock acquisition per shard per batch
+//!   (`apply_batch_with`). `Durability` is accepted and ignored (there is
+//!   no log); [`KvService::flush`] is a no-op.
+//! * [`DurableKv`] wraps one [`dsf_durable::DurableFile`] per shard
+//!   (directory `shard-<i>` under its root), routed by the *same* stripe
+//!   function `ShardedFile` uses. Batches go through
+//!   `apply_batch_durable_with`, so a batch is **one group commit**:
+//!   every frame appended, then one `write` (+ one `fsync` when the batch
+//!   carries a `Strict` request or the commit window closes).
+//!
+//! Both backends report the flight-recorder seq of every command to the
+//! caller's observer, which is how responses get stamped end-to-end.
+
+use crate::protocol::Outcome;
+use dsf_concurrent::ShardedFile;
+use dsf_core::{Command, CommandOutcome, DenseFileConfig};
+use dsf_durable::{Durability, DurableError, DurableFile, SyncPolicy};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The command/value types the wire protocol fixes.
+pub type KvCommand = Command<u64, String>;
+/// Outcome type matching [`KvCommand`].
+pub type KvOutcome = CommandOutcome<String>;
+
+/// A sharded key→value store the server can front. Implementations are
+/// internally synchronized: `apply_batch` takes `&self` and may be called
+/// concurrently for *different* shards (the accumulator guarantees one
+/// in-flight batch per shard).
+pub trait KvService: Send + Sync + 'static {
+    /// Number of independent shards (accumulator queues).
+    fn shard_count(&self) -> usize;
+
+    /// The shard `key`'s commands route to (`0 ≤ _ < shard_count`).
+    fn shard_of(&self, key: u64) -> usize;
+
+    /// Applies one batch of commands, all of which route to `shard`, with
+    /// the requested durability-on-ack: `Strict` returns only after the
+    /// batch's frames are fsynced, `Relaxed` as soon as they are applied
+    /// and buffered. `observe` fires once per command with
+    /// `(index, outcome, flight_seq)` in batch order.
+    fn apply_batch(
+        &self,
+        shard: usize,
+        cmds: &[KvCommand],
+        durability: Durability,
+        observe: &mut dyn FnMut(usize, &KvOutcome, u64),
+    ) -> Result<Vec<KvOutcome>, String>;
+
+    /// Point lookup (read path; bypasses the accumulator).
+    fn get(&self, key: u64) -> Option<String>;
+
+    /// At most `limit` records with key ≥ `start`, ascending.
+    fn scan(&self, start: u64, limit: usize) -> Vec<(u64, String)>;
+
+    /// Total records.
+    fn len(&self) -> u64;
+
+    /// Whether the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes any open commit window and syncs: after `flush` returns,
+    /// every previously acked command (including `Relaxed` ones) is
+    /// durable. In-memory backends no-op.
+    fn flush(&self) -> Result<(), String>;
+}
+
+/// Converts a core outcome into its wire form.
+pub fn wire_outcome(o: &KvOutcome) -> Outcome {
+    match o {
+        CommandOutcome::Inserted => Outcome::Inserted,
+        CommandOutcome::Replaced(old) => Outcome::Replaced(old.clone()),
+        CommandOutcome::Removed(old) => Outcome::Removed(old.clone()),
+        CommandOutcome::NotFound => Outcome::NotFound,
+        CommandOutcome::Rejected(e) => Outcome::Rejected(e.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory backend.
+// ---------------------------------------------------------------------
+
+/// [`KvService`] over an in-memory [`ShardedFile`] — the zero-durability
+/// backend (benchmarks, equivalence tests, caches). The wrapped file is
+/// shared (`Arc`), so a test can keep a handle and snapshot the exact
+/// state the server mutated.
+pub struct ShardedKv {
+    file: Arc<ShardedFile<String>>,
+}
+
+impl ShardedKv {
+    /// Wraps an existing sharded file.
+    pub fn new(file: Arc<ShardedFile<String>>) -> Self {
+        ShardedKv { file }
+    }
+
+    /// Builds a fresh `shards × per_shard` file.
+    pub fn with_config(shards: u32, per_shard: DenseFileConfig) -> Result<Self, String> {
+        Ok(ShardedKv {
+            file: Arc::new(ShardedFile::new(shards, per_shard).map_err(|e| e.to_string())?),
+        })
+    }
+
+    /// The wrapped file (for snapshots and invariant checks).
+    pub fn file(&self) -> &Arc<ShardedFile<String>> {
+        &self.file
+    }
+}
+
+impl KvService for ShardedKv {
+    fn shard_count(&self) -> usize {
+        self.file.shard_count() as usize
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        self.file.shard_of(key)
+    }
+
+    fn apply_batch(
+        &self,
+        _shard: usize,
+        cmds: &[KvCommand],
+        _durability: Durability,
+        observe: &mut dyn FnMut(usize, &KvOutcome, u64),
+    ) -> Result<Vec<KvOutcome>, String> {
+        // All commands of a batch route to one shard, so ShardedFile's own
+        // partitioning yields a single sub-batch: one scoped thread, one
+        // lock acquisition, one `DenseFile::apply_batch` — the PR 5 group
+        // apply. Seqs are captured on that thread, then replayed to the
+        // caller's observer in batch order.
+        let seqs = Mutex::new(vec![0u64; cmds.len()]);
+        let outcomes = self.file.apply_batch_with(cmds, |i, _o, seq| {
+            seqs.lock().expect("seq collector poisoned")[i] = seq;
+        });
+        let seqs = seqs.into_inner().expect("seq collector poisoned");
+        for (i, o) in outcomes.iter().enumerate() {
+            observe(i, o, seqs[i]);
+        }
+        Ok(outcomes)
+    }
+
+    fn get(&self, key: u64) -> Option<String> {
+        self.file.get(&key)
+    }
+
+    fn scan(&self, start: u64, limit: usize) -> Vec<(u64, String)> {
+        self.file.collect_range(start, u64::MAX, limit)
+    }
+
+    fn len(&self) -> u64 {
+        self.file.len()
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Durable backend.
+// ---------------------------------------------------------------------
+
+/// [`KvService`] over one [`DurableFile`] per shard — the production
+/// backend. Each shard lives in `<root>/shard-<i>` with its own WAL and
+/// commit window; the stripe router matches [`ShardedFile`]'s exactly
+/// (ceil-divided key space), so the two backends shard identically.
+pub struct DurableKv {
+    shards: Vec<Mutex<DurableFile<u64, String>>>,
+    stripe: u64,
+    root: PathBuf,
+}
+
+impl DurableKv {
+    /// Creates `shards` fresh durable files under `root` (fails if any
+    /// shard directory already holds a checkpoint).
+    pub fn create(
+        root: impl AsRef<Path>,
+        shards: u32,
+        per_shard: DenseFileConfig,
+        policy: SyncPolicy,
+    ) -> Result<Self, DurableError> {
+        assert!(shards > 0, "at least one shard required");
+        let root = root.as_ref().to_path_buf();
+        let mut v = Vec::with_capacity(shards as usize);
+        for s in 0..shards {
+            v.push(Mutex::new(DurableFile::create(
+                root.join(format!("shard-{s}")),
+                per_shard,
+                policy,
+            )?));
+        }
+        Ok(DurableKv {
+            shards: v,
+            stripe: (u64::MAX / u64::from(shards)).saturating_add(1),
+            root,
+        })
+    }
+
+    /// Recovers an existing store: opens `shard-0`, `shard-1`, … until a
+    /// directory is missing. At least `shard-0` must exist.
+    pub fn open(root: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, DurableError> {
+        let root = root.as_ref().to_path_buf();
+        let mut v = Vec::new();
+        loop {
+            let dir = root.join(format!("shard-{}", v.len()));
+            if !dir.is_dir() {
+                break;
+            }
+            v.push(Mutex::new(DurableFile::open(dir, policy)?));
+        }
+        if v.is_empty() {
+            return Err(DurableError::NotInitialized);
+        }
+        let shards = v.len() as u64;
+        Ok(DurableKv {
+            shards: v,
+            stripe: (u64::MAX / shards).saturating_add(1),
+            root,
+        })
+    }
+
+    /// The directory the shards live under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Runs `f` with shard `s`'s file locked (tests, stats).
+    pub fn with_shard<T>(&self, s: usize, f: impl FnOnce(&DurableFile<u64, String>) -> T) -> T {
+        f(&self.shards[s].lock().expect("shard poisoned"))
+    }
+}
+
+impl KvService for DurableKv {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        ((key / self.stripe) as usize).min(self.shards.len() - 1)
+    }
+
+    fn apply_batch(
+        &self,
+        shard: usize,
+        cmds: &[KvCommand],
+        durability: Durability,
+        observe: &mut dyn FnMut(usize, &KvOutcome, u64),
+    ) -> Result<Vec<KvOutcome>, String> {
+        let mut file = self.shards[shard].lock().expect("shard poisoned");
+        file.apply_batch_durable_with(cmds, durability, |i, o, seq| observe(i, o, seq))
+            .map_err(|e| e.to_string())
+    }
+
+    fn get(&self, key: u64) -> Option<String> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("shard poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    fn scan(&self, start: u64, limit: usize) -> Vec<(u64, String)> {
+        // Shards are ascending key stripes, so walking them in order
+        // yields globally sorted output; stop as soon as `limit` is met.
+        let mut out = Vec::with_capacity(limit.min(64));
+        for shard in &self.shards {
+            if out.len() >= limit {
+                break;
+            }
+            let file = shard.lock().expect("shard poisoned");
+            for (k, v) in file.range(start..) {
+                out.push((*k, v.clone()));
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("shard poisoned")
+                .sync()
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,80 @@
+//! Server metrics, registered in the process-global `dsf-telemetry`
+//! registry (all `dsf_server_*`; see `docs/OBSERVABILITY.md`). Handles
+//! are resolved once per server and shared; like every other site in the
+//! workspace they are ~free while the registry is disabled.
+
+use dsf_telemetry::{Counter, Gauge, Histogram};
+use std::sync::Arc;
+
+/// The server's pre-resolved metric handles.
+pub struct ServerTel {
+    /// `dsf_server_connections_total` — connections accepted.
+    pub connections: Arc<Counter>,
+    /// `dsf_server_requests_total` — request frames decoded.
+    pub requests: Arc<Counter>,
+    /// `dsf_server_group_commits_total` — batches applied (each is one
+    /// group apply / group commit).
+    pub group_commits: Arc<Counter>,
+    /// `dsf_server_batch_commands` — commands per applied batch; its
+    /// mean is the experiment's "commands per group commit".
+    pub batch_commands: Arc<Histogram>,
+    /// `dsf_server_request_micros` — enqueue→reply latency of
+    /// structural requests, server side.
+    pub request_micros: Arc<Histogram>,
+    /// `dsf_server_queue_depth{shard=…}` — live accumulator depth.
+    pub queue_depth: Vec<Arc<Gauge>>,
+    /// `dsf_server_protocol_errors_total` — frames that failed to parse.
+    pub protocol_errors: Arc<Counter>,
+}
+
+impl ServerTel {
+    /// Resolves every handle against the global registry.
+    pub fn new(shards: usize) -> Arc<ServerTel> {
+        let reg = dsf_telemetry::global();
+        Arc::new(ServerTel {
+            connections: reg.counter(
+                "dsf_server_connections_total",
+                "client connections accepted by dsf serve",
+            ),
+            requests: reg.counter(
+                "dsf_server_requests_total",
+                "request frames decoded across all connections",
+            ),
+            group_commits: reg.counter(
+                "dsf_server_group_commits_total",
+                "accumulator batches applied (one group apply/commit each)",
+            ),
+            batch_commands: reg.histogram(
+                "dsf_server_batch_commands",
+                "commands per applied accumulator batch",
+            ),
+            request_micros: reg.histogram(
+                "dsf_server_request_micros",
+                "enqueue-to-reply latency of structural requests (us)",
+            ),
+            queue_depth: (0..shards)
+                .map(|s| {
+                    reg.gauge_with(
+                        "dsf_server_queue_depth",
+                        &[("shard", &s.to_string())],
+                        "live accumulator queue depth",
+                    )
+                })
+                .collect(),
+            protocol_errors: reg.counter(
+                "dsf_server_protocol_errors_total",
+                "request frames rejected by the wire protocol",
+            ),
+        })
+    }
+
+    /// Per-client command counter (`dsf_server_client_commands_total`),
+    /// labelled by connection id.
+    pub fn client_commands(&self, client: u64) -> Arc<Counter> {
+        dsf_telemetry::global().counter_with(
+            "dsf_server_client_commands_total",
+            &[("client", &client.to_string())],
+            "structural commands acked, per client connection",
+        )
+    }
+}

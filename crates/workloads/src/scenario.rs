@@ -54,6 +54,39 @@
 //! them is precisely what the pin phase does. E17 confirms empirically
 //! that the observed worst command under this stream meets the audited
 //! bound while friendlier scenarios stay far below it.
+//!
+//! ## The delete-side adversary
+//!
+//! [`Scenario::AdversarialDelete`] is the mirror stream, aimed at the
+//! *lower* half of the hysteresis band. CONTROL 2's step 2 probes, on
+//! every command touching a warned subtree, whether the subtree has
+//! cooled to `g(v,⅓)` (`lower_if_cold`) — the threshold that decides
+//! when a raised flag may be retired. The plain adversary never
+//! exercises that decision from the delete side: its deletions land in
+//! the cold far region, outside every warned subtree.
+//!
+//! This variant keeps the surge phase identical (same subtree, same
+//! `g(v,⅔)` arithmetic), then pins with **triples**: two insertions at
+//! the cluster's advancing right edge plus one deletion of the cluster's
+//! own *oldest* hot key (FIFO from the trailing edge). The arithmetic:
+//!
+//! * Each triple adds two records to `p(v)` and removes one — net `+1`,
+//!   so the subtree's density keeps outpacing the per-command bounded
+//!   SHIFT drain and the flags stay pinned, exactly as in the plain
+//!   adversary.
+//! * But each deletion's root→leaf path now runs entirely *inside* the
+//!   warned subtree: step 2's `lower_if_cold` probe evaluates `p(v)`
+//!   against `g(v,⅓)` on warned nodes on every such delete, and the
+//!   delete's own SHIFT budget drains the very region its siblings are
+//!   refilling. The stream therefore alternates pressure and relief on
+//!   the same nodes — the hysteresis band's lower threshold is probed
+//!   (and must keep *refusing* to lower, since density never falls that
+//!   far) on every third command, the case the delete-side rules of the
+//!   paper exist for.
+//! * The trailing edge advances one key per triple while the leading
+//!   edge advances two, so the hot corridor `[tail, front)` never
+//!   empties: every deletion targets a key that is still resident, and
+//!   the whole corridor stays inside the attacked window.
 
 use crate::{Op, Zipf};
 use rand::rngs::SmallRng;
@@ -114,13 +147,18 @@ impl Geometry {
     }
 }
 
-/// The five scenarios of the E17 matrix.
+/// The six scenarios of the E17 matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// The worst-case stream documented in the module header: surge one
     /// subtree into the warning band, then pin it there with
     /// insert/delete pairs at its boundary.
     Adversarial,
+    /// The delete-side mirror (module header, "the delete-side
+    /// adversary"): same surge, then 2-insert/1-delete triples whose
+    /// deletions run inside the warned subtree, hammering CONTROL 2's
+    /// lower `g(v,⅓)` threshold probe on every third command.
+    AdversarialDelete,
     /// Zipf(0.99)-skewed structural churn with 25% point reads: hot ranks
     /// gain and lose neighbour records while cold ranks sleep.
     Zipfian,
@@ -138,8 +176,9 @@ pub enum Scenario {
 
 impl Scenario {
     /// Every scenario, in matrix order.
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 6] = [
         Scenario::Adversarial,
+        Scenario::AdversarialDelete,
         Scenario::Zipfian,
         Scenario::TimeSeries,
         Scenario::DeleteChurn,
@@ -151,6 +190,7 @@ impl Scenario {
     pub fn name(&self) -> &'static str {
         match self {
             Scenario::Adversarial => "adversarial",
+            Scenario::AdversarialDelete => "adversarial_delete",
             Scenario::Zipfian => "zipfian",
             Scenario::TimeSeries => "time_series",
             Scenario::DeleteChurn => "delete_churn",
@@ -193,6 +233,7 @@ pub fn scenario_plan(
     let backbone = backbone_keys(geom);
     let ops = match scenario {
         Scenario::Adversarial => adversarial_ops(geom, &backbone, ops_len),
+        Scenario::AdversarialDelete => adversarial_delete_ops(geom, &backbone, ops_len),
         Scenario::Zipfian => zipfian_ops(geom, &backbone, seed, ops_len),
         Scenario::TimeSeries => time_series_ops(geom, &backbone, ops_len),
         Scenario::DeleteChurn => delete_churn_ops(geom, &backbone, seed, ops_len),
@@ -239,7 +280,19 @@ impl HeadroomGuard {
     }
 }
 
-fn adversarial_ops(geom: &Geometry, backbone: &[u64], ops_len: usize) -> Vec<Op> {
+/// The shared setup of both adversarial streams: which subtree to attack,
+/// how many surge inserts lift it past `g(v,⅔)`, and where hot keys go.
+struct AdversarialWindow {
+    /// Surge length (inserts that end above the raise threshold).
+    surge_n: u64,
+    /// First hot key is `base + 2`; hot key `j` is `base + 2j`.
+    base: u64,
+    /// Backbone slots strictly left of the attacked window (`s0 · b0`):
+    /// the cold region the insert-side adversary deletes from.
+    cold_slots: u64,
+}
+
+fn adversarial_window(geom: &Geometry, backbone: &[u64], ops_len: usize) -> AdversarialWindow {
     let b0 = backbone.len() as u64 / geom.slots;
     assert!(b0 >= 1, "backbone must populate every slot");
 
@@ -262,14 +315,26 @@ fn adversarial_ops(geom: &Geometry, backbone: &[u64], ops_len: usize) -> Vec<Op>
 
     // Key layout inside the window: all hot keys are odd (disjoint from
     // the backbone) and sit between backbone records s0·b0 and s0·b0+1,
-    // so the point pressure lands on a single leaf's key range. The surge
-    // ascends from `base`; the pin phase keeps ascending (every insert
-    // lands at the cluster's advancing right edge — the hammer's
+    // so the point pressure lands on a single leaf's key range.
+    let window_lo = s0 * b0 * SCENARIO_STRIDE;
+    AdversarialWindow {
+        surge_n,
+        base: window_lo + 9,
+        cold_slots: s0 * b0,
+    }
+}
+
+fn adversarial_ops(geom: &Geometry, backbone: &[u64], ops_len: usize) -> Vec<Op> {
+    let AdversarialWindow {
+        surge_n,
+        base,
+        cold_slots,
+    } = adversarial_window(geom, backbone, ops_len);
+
+    // The surge ascends from `base`; the pin phase keeps ascending (every
+    // insert lands at the cluster's advancing right edge — the hammer's
     // single-leaf pressure) while deleting the cold region's backbone
     // keys FIFO from the file's far left end.
-    let window_lo = s0 * b0 * SCENARIO_STRIDE;
-    let base = window_lo + 9;
-
     let mut guard = HeadroomGuard::new(geom, backbone);
     let mut ops = Vec::with_capacity(ops_len);
     for j in 1..=surge_n {
@@ -284,10 +349,46 @@ fn adversarial_ops(geom: &Geometry, backbone: &[u64], ops_len: usize) -> Vec<Op>
         if ops.len() < ops_len {
             // Deletes must never reach the hot window (they would relieve
             // the pressure the stream exists to sustain).
-            assert!(cold < s0 * b0, "cold region exhausted — raise capacity");
+            assert!(cold < cold_slots, "cold region exhausted — raise capacity");
             guard.remove();
             ops.push(Op::Remove(cold * SCENARIO_STRIDE));
             cold += 1;
+        }
+    }
+    ops
+}
+
+fn adversarial_delete_ops(geom: &Geometry, backbone: &[u64], ops_len: usize) -> Vec<Op> {
+    let AdversarialWindow { surge_n, base, .. } = adversarial_window(geom, backbone, ops_len);
+
+    // Identical surge; then the triple pin: two inserts at the advancing
+    // right edge, one delete of the oldest hot key (FIFO from the
+    // trailing edge). Net +1 record per triple keeps the flags raised;
+    // every delete's path runs inside the warned subtree, so CONTROL 2's
+    // step-2 `lower_if_cold` probe of g(v,⅓) fires on warned nodes —
+    // and must keep refusing — on every third command.
+    let mut guard = HeadroomGuard::new(geom, backbone);
+    let mut ops = Vec::with_capacity(ops_len);
+    for j in 1..=surge_n {
+        guard.insert();
+        ops.push(Op::Insert(base + 2 * j));
+    }
+    // Hot corridor [tail, next): tail advances 1 per triple, next 2 per
+    // triple, so the corridor never empties and every delete is resident.
+    let (mut next, mut tail) = (surge_n + 1, 1u64);
+    while ops.len() < ops_len {
+        for _ in 0..2 {
+            if ops.len() < ops_len {
+                guard.insert();
+                ops.push(Op::Insert(base + 2 * next));
+                next += 1;
+            }
+        }
+        if ops.len() < ops_len {
+            debug_assert!(tail < next, "hot corridor emptied");
+            guard.remove();
+            ops.push(Op::Remove(base + 2 * tail));
+            tail += 1;
         }
     }
     ops
@@ -523,6 +624,66 @@ mod tests {
             }
         }
         assert!(!tail.is_empty(), "ops budget leaves a pin phase");
+    }
+
+    #[test]
+    fn adversarial_delete_pins_with_in_window_triples() {
+        let geom = small_geom();
+        let plan = scenario_plan(Scenario::AdversarialDelete, &geom, 1, 900);
+        // Same surge arithmetic as the insert-side adversary.
+        let a = 4;
+        let width = 1u64 << a;
+        let depth = geom.log_slots - a;
+        let b0 = plan.backbone.len() as u64 / geom.slots;
+        let s0 = (geom.slots / 2) / width * width;
+        let window_lo = s0 * b0 * SCENARIO_STRIDE;
+        let window_hi = (s0 + width) * b0 * SCENARIO_STRIDE;
+        let raise = geom.threshold_records(depth, width, 2);
+        let surge_n = (raise - b0 * width + width) as usize;
+        let surge: Vec<u64> = plan.ops[..surge_n]
+            .iter()
+            .map(|op| match op {
+                Op::Insert(k) => *k,
+                other => panic!("surge prefix must be inserts, got {other:?}"),
+            })
+            .collect();
+        assert!(surge.iter().all(|&k| (window_lo..window_hi).contains(&k)));
+        assert!(surge.windows(2).all(|w| w[1] == w[0] + 2));
+
+        // Pin phase: 2-insert/1-delete triples. Inserts advance the right
+        // edge; deletes sweep the hot cluster FIFO from its left —
+        // *inside* the attacked window, unlike the insert-side adversary.
+        let tail_ops = &plan.ops[surge_n..];
+        assert!(!tail_ops.is_empty(), "ops budget leaves a pin phase");
+        let base = surge[0] - 2;
+        let mut edge = *surge.last().unwrap();
+        let mut oldest = base + 2; // first surge key
+        let mut net: i64 = 0;
+        for (i, op) in tail_ops.iter().enumerate() {
+            match *op {
+                Op::Insert(k) => {
+                    assert_eq!(i % 3 / 2, 0, "inserts come in leading pairs");
+                    assert_eq!(k, edge + 2, "insert off the advancing edge");
+                    assert!((window_lo..window_hi).contains(&k));
+                    edge = k;
+                    net += 1;
+                }
+                Op::Remove(k) => {
+                    assert_eq!(i % 3, 2, "every third op is the delete");
+                    assert_eq!(k, oldest, "delete not hot-FIFO");
+                    assert!(
+                        (window_lo..window_hi).contains(&k),
+                        "delete escaped the warned window"
+                    );
+                    assert!(k < edge, "delete overtook the corridor");
+                    oldest += 2;
+                    net -= 1;
+                }
+                other => panic!("pin phase has no {other:?}"),
+            }
+        }
+        // Net growth: the flags can never starve.
+        assert!(net > 0, "pin phase must keep net-filling the subtree");
     }
 
     #[test]

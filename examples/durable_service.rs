@@ -8,6 +8,12 @@
 //! percentile cut-offs via `rank`/`select_nth`, and priority-queue-style
 //! expiry with `pop_first`.
 //!
+//! This example embeds the engine in-process. To put the same durable
+//! store on a TCP socket — concurrent clients coalesced into group
+//! commits, per-request Strict/Relaxed durability-on-ack — use the
+//! network front-end instead: `cargo run --release --bin dsf -- serve
+//! ./store` and talk to it with `dsf client` (see `crates/server`).
+//!
 //! Run: `cargo run --release --example durable_service`
 
 use willard_dsf::core_::{Command, DenseFileConfig};

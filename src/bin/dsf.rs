@@ -67,6 +67,16 @@ usage:
   dsf image-export <path> <image-path> [--page-bytes N]
   dsf image-stream <image-path> [--from KEY] [--to KEY]   (reads straight off disk)
   dsf top <path> [--workload uniform|burst|hammer] [--ops N]   (in-memory; live metric table)
+  dsf serve <dir> [--addr A] [--shards N] [--pages M] [--min-density d] [--max-density D]
+      [--window-frames F] [--window-micros U] [--batch-window B] | dsf serve --memory [...]
+      pipelined TCP front-end; concurrent clients coalesce into group commits.
+      <dir> holds one WAL-backed shard per subdirectory (created on first run);
+      --memory serves a ShardedFile instead. Stop it with `dsf client A shutdown`.
+  dsf client <addr> ping|count|flush|shutdown
+  dsf client <addr> insert <key> <value> [--relaxed]   (--relaxed acks before fsync)
+  dsf client <addr> remove <key> [--relaxed]
+  dsf client <addr> get <key>
+  dsf client <addr> scan [--from KEY] [--limit N]
   dsf serve-metrics <path> [--port P] [--workload W] [--ops N] [--oneshot [--requests R]]
       serves /metrics (Prometheus), /json, /spans over HTTP (in-memory; never saves)
   dsf flight record <out.flight> (--example52 | [--pages M] [--min-density d] [--max-density D]
@@ -99,6 +109,8 @@ fn run(args: &[String]) -> Result<String, String> {
         "image-export" => image_export(&args[1..]),
         "image-stream" => image_stream(&args[1..]),
         "top" => top(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "client" => client(&args[1..]),
         "serve-metrics" => serve_metrics(&args[1..]),
         "flight" => flight(&args[1..]),
         "bench-gate" => bench_gate(&args[1..]),
@@ -597,6 +609,168 @@ fn serve_metrics(args: &[String]) -> Result<String, String> {
 }
 
 // ---------------------------------------------------------------------
+// Network front-end (`dsf serve` / `dsf client`).
+// ---------------------------------------------------------------------
+
+fn serve(args: &[String]) -> Result<String, String> {
+    use willard_dsf::server::{DurableKv, ServerConfig, ShardedKv};
+    use willard_dsf::{KvService, Server, SyncPolicy};
+
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:4600".into());
+    let shards: u32 = match flag(args, "--shards") {
+        Some(s) => parse(&s, "--shards")?,
+        None => 4,
+    };
+    let pages: u32 = match flag(args, "--pages") {
+        Some(s) => parse(&s, "--pages")?,
+        None => 256,
+    };
+    let d: u32 = match flag(args, "--min-density") {
+        Some(s) => parse(&s, "--min-density")?,
+        None => 8,
+    };
+    let big_d: u32 = match flag(args, "--max-density") {
+        Some(s) => parse(&s, "--max-density")?,
+        None => 48,
+    };
+    let per_shard = DenseFileConfig::control2(pages, d, big_d);
+
+    let (service, backend): (std::sync::Arc<dyn KvService>, String) = if has_flag(args, "--memory")
+    {
+        let kv = ShardedKv::with_config(shards, per_shard).map_err(|e| format!("serve: {e}"))?;
+        (
+            std::sync::Arc::new(kv),
+            format!("in-memory, {shards} shards"),
+        )
+    } else {
+        let dir = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("serve: missing <dir> (or pass --memory)")?;
+        let window_frames: u32 = match flag(args, "--window-frames") {
+            Some(s) => parse(&s, "--window-frames")?,
+            None => 64,
+        };
+        let window_micros: u64 = match flag(args, "--window-micros") {
+            Some(s) => parse(&s, "--window-micros")?,
+            None => 2_000,
+        };
+        let policy = SyncPolicy::CommitWindow {
+            max_frames: window_frames,
+            max_micros: window_micros,
+        };
+        // First run creates the store; later runs recover it (the shard
+        // count then comes from the directory, not --shards).
+        let kv = if std::path::Path::new(dir).join("shard-0").is_dir() {
+            DurableKv::open(dir, policy).map_err(|e| format!("serve: cannot open `{dir}`: {e}"))?
+        } else {
+            DurableKv::create(dir, shards, per_shard, policy)
+                .map_err(|e| format!("serve: cannot create `{dir}`: {e}"))?
+        };
+        let n = kv.shard_count();
+        (
+            std::sync::Arc::new(kv),
+            format!("durable `{dir}`, {n} shards"),
+        )
+    };
+
+    let mut cfg = ServerConfig::default();
+    if let Some(b) = flag(args, "--batch-window") {
+        cfg.accumulator.batch_window = parse(&b, "--batch-window")?;
+    }
+    let server = Server::bind(service, cfg, &addr)
+        .map_err(|e| format!("serve: cannot bind `{addr}`: {e}"))?;
+    println!("serving dsf://{} ({backend})", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    // Block until a client sends the Shutdown frame, then drain: every
+    // acked command (Strict or Relaxed) is durable when this returns.
+    server.wait_shutdown_request();
+    server.shutdown().map_err(|e| format!("serve: {e}"))?;
+    Ok("shutdown complete\n".into())
+}
+
+fn client(args: &[String]) -> Result<String, String> {
+    use willard_dsf::server::{Outcome, Request, Response};
+    use willard_dsf::Durability;
+
+    let addr = args.first().ok_or("client: missing <addr>")?;
+    let sub = args
+        .get(1)
+        .ok_or("client: expected ping|insert|remove|get|scan|count|flush|shutdown")?;
+    let durability = if has_flag(args, "--relaxed") {
+        Durability::Relaxed
+    } else {
+        Durability::Strict
+    };
+    let req = match sub.as_str() {
+        "ping" => Request::Ping,
+        "count" => Request::Count,
+        "flush" => Request::Flush,
+        "shutdown" => Request::Shutdown,
+        "insert" => {
+            let key: u64 = parse(args.get(2).ok_or("client insert: missing <key>")?, "key")?;
+            let value = args.get(3).ok_or("client insert: missing <value>")?.clone();
+            Request::Insert {
+                key,
+                value,
+                durability,
+            }
+        }
+        "remove" => {
+            let key: u64 = parse(args.get(2).ok_or("client remove: missing <key>")?, "key")?;
+            Request::Remove { key, durability }
+        }
+        "get" => {
+            let key: u64 = parse(args.get(2).ok_or("client get: missing <key>")?, "key")?;
+            Request::Get { key }
+        }
+        "scan" => {
+            let start: u64 = match flag(args, "--from") {
+                Some(s) => parse(&s, "--from")?,
+                None => 0,
+            };
+            let limit: u32 = match flag(args, "--limit") {
+                Some(s) => parse(&s, "--limit")?,
+                None => 50,
+            };
+            Request::Scan { start, limit }
+        }
+        other => return Err(format!("client: unknown subcommand `{other}`")),
+    };
+    let mut c = willard_dsf::server::Client::connect(addr.as_str())
+        .map_err(|e| format!("client: cannot connect to `{addr}`: {e}"))?;
+    let rsp = c
+        .call(&req)
+        .map_err(|e| format!("client: request failed: {e}"))?;
+    Ok(match rsp {
+        Response::Applied { outcome, seq } => match outcome {
+            Outcome::Inserted => format!("inserted (seq {seq})\n"),
+            Outcome::Replaced(old) => format!("replaced (was: {old}, seq {seq})\n"),
+            Outcome::Removed(old) => format!("removed (was: {old}, seq {seq})\n"),
+            Outcome::NotFound => "not found\n".to_string(),
+            Outcome::Rejected(e) => return Err(format!("rejected: {e}")),
+        },
+        Response::Value(Some(v)) => format!("{v}\n"),
+        Response::Value(None) => "not found\n".to_string(),
+        Response::Entries(entries) => {
+            let mut out = String::new();
+            for (k, v) in &entries {
+                out.push_str(&format!("{k}\t{v}\n"));
+            }
+            out.push_str(&format!("({} records)\n", entries.len()));
+            out
+        }
+        Response::Pong => "pong\n".to_string(),
+        Response::Count(n) => format!("{n} records\n"),
+        Response::Flushed => "flushed\n".to_string(),
+        Response::ShuttingDown => "server shutting down\n".to_string(),
+        Response::Error(e) => return Err(format!("server error: {e}")),
+    })
+}
+
+// ---------------------------------------------------------------------
 // Flight recorder.
 // ---------------------------------------------------------------------
 
@@ -948,6 +1122,11 @@ fn bench_gate(args: &[String]) -> Result<String, String> {
         // E16 async engine: durable-ingest p99 speedup of the commit
         // window over fsync-per-command at equal durability-on-ack.
         ("p99_speedup", true),
+        // E18 server: commands per group commit at 8 clients (must stay
+        // well above 1 — the accumulator's whole point), and the n=1/n=8
+        // fsyncs-per-command ratio (concurrency must keep amortizing).
+        ("serve_group_commit", true),
+        ("serve_fsync_amortization", true),
     ];
     let mut report = format!(
         "bench-gate: `{candidate_path}` vs baseline `{baseline_path}` (threshold {:.0}%)\n",
@@ -1013,7 +1192,8 @@ fn bench_gate(args: &[String]) -> Result<String, String> {
         return Err(format!(
             "bench-gate: none of the gated metrics (io_call_ratio, fsync_ratio, overhead_ratio, \
              max_accesses, pool_wall_ratio, core_wall_ratio, wal_wall_ratio, p99_speedup, \
-             max_accesses_<scenario>) appear in both `{baseline_path}` and `{candidate_path}`"
+             serve_group_commit, serve_fsync_amortization, max_accesses_<scenario>) appear \
+             in both `{baseline_path}` and `{candidate_path}`"
         ));
     }
     if let Some(rp) = flag(args, "--report") {

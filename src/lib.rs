@@ -33,6 +33,10 @@
 //!   replayable into causal cost attribution (user step vs SHIFT vs
 //!   ACTIVATE vs WAL) audited against the paper's worst-case bound. Behind
 //!   `dsf flight record`/`replay`/`explain`.
+//! * [`server`] — the pipelined TCP front-end (`dsf serve`/`dsf client`):
+//!   a length-prefixed binary protocol whose per-shard request
+//!   accumulator coalesces concurrent clients into the group commits the
+//!   layers above make cheap, with per-request durability-on-ack.
 //!
 //! The most common types are re-exported at the crate root; see the
 //! `examples/` directory for runnable walkthroughs and `crates/bench` for
@@ -48,6 +52,7 @@ pub use dsf_core as core_;
 pub use dsf_durable as durable;
 pub use dsf_flight as flight;
 pub use dsf_pagestore as pagestore;
+pub use dsf_server as server;
 pub use dsf_telemetry as telemetry;
 pub use dsf_workloads as workloads;
 
@@ -60,3 +65,4 @@ pub use dsf_core::{
 };
 pub use dsf_durable::{Durability, DurableFile, SyncPolicy};
 pub use dsf_pagestore::{disk::DiskModel, IoStats, Record};
+pub use dsf_server::{KvService, Server, ServerConfig};

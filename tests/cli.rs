@@ -564,3 +564,112 @@ fn cli_control1_files() {
     assert!(out.status.success(), "{out:?}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Spawns `dsf serve`, reads the announce line, and returns the child,
+/// its address, and the stdout reader (which must stay alive — dropping
+/// it breaks the child's pipe and turns its exit message into a panic).
+fn spawn_serve(
+    dir: &PathBuf,
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::BufRead;
+    // The store dir (if any) must be the first argument after `serve`.
+    let mut args = vec!["serve"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--addr", "127.0.0.1:0"]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dsf"))
+        .current_dir(dir)
+        .args(&args)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut reader = std::io::BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "serve exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("serving dsf://") {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+    (child, addr, reader)
+}
+
+#[test]
+fn cli_serve_memory_round_trip() {
+    let dir = tempdir("serve-mem");
+    let (mut child, addr, _out) = spawn_serve(&dir, &["--memory", "--shards", "2"]);
+
+    let out = dsf(&dir, &["client", &addr, "ping"]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(stdout(&out), "pong\n");
+
+    let out = dsf(&dir, &["client", &addr, "insert", "42", "answer"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).starts_with("inserted"), "{out:?}");
+
+    let out = dsf(
+        &dir,
+        &["client", &addr, "insert", "42", "revised", "--relaxed"],
+    );
+    assert!(stdout(&out).contains("replaced (was: answer"), "{out:?}");
+
+    let out = dsf(&dir, &["client", &addr, "get", "42"]);
+    assert_eq!(stdout(&out), "revised\n");
+
+    let out = dsf(&dir, &["client", &addr, "count"]);
+    assert_eq!(stdout(&out), "1 records\n");
+
+    let out = dsf(&dir, &["client", &addr, "scan", "--limit", "10"]);
+    assert!(stdout(&out).contains("42\trevised"), "{out:?}");
+
+    let out = dsf(&dir, &["client", &addr, "remove", "42"]);
+    assert!(stdout(&out).contains("removed (was: revised"), "{out:?}");
+
+    let out = dsf(&dir, &["client", &addr, "shutdown"]);
+    assert_eq!(stdout(&out), "server shutting down\n");
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_serve_durable_survives_restart() {
+    let dir = tempdir("serve-dur");
+    let (mut child, addr, _out) = spawn_serve(&dir, &["store", "--shards", "2", "--pages", "64"]);
+
+    for k in 0..20u64 {
+        let durability: &[&str] = if k % 2 == 0 { &[] } else { &["--relaxed"] };
+        let mut args = vec!["client", &addr, "insert"];
+        let ks = k.to_string();
+        let vs = format!("v{k}");
+        args.push(&ks);
+        args.push(&vs);
+        args.extend_from_slice(durability);
+        let out = dsf(&dir, &args);
+        assert!(out.status.success(), "insert {k}: {out:?}");
+    }
+    let out = dsf(&dir, &["client", &addr, "flush"]);
+    assert_eq!(stdout(&out), "flushed\n");
+    let out = dsf(&dir, &["client", &addr, "shutdown"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(child.wait().expect("serve exits").success());
+
+    // Restart over the same directory: every acked record is still there.
+    let (mut child, addr, _out) = spawn_serve(&dir, &["store"]);
+    let out = dsf(&dir, &["client", &addr, "count"]);
+    assert_eq!(stdout(&out), "20 records\n");
+    let out = dsf(&dir, &["client", &addr, "get", "13"]);
+    assert_eq!(stdout(&out), "v13\n");
+    let out = dsf(&dir, &["client", &addr, "shutdown"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(child.wait().expect("serve exits").success());
+    std::fs::remove_dir_all(&dir).ok();
+}
